@@ -1,0 +1,236 @@
+package parc751
+
+// The benchmark harness: one benchmark per paper exhibit (regenerating it
+// through the experiments registry) plus the ablation studies A1-A5 from
+// DESIGN.md §5. Experiment benches report a `findings_ok` metric (1 = all
+// paper-shape findings held); ablation benches report the quantity under
+// study (virtual makespans, throughputs) via b.ReportMetric.
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"parc751/internal/collections"
+	"parc751/internal/experiments"
+	"parc751/internal/machine"
+	"parc751/internal/ptask"
+	"parc751/internal/pyjama"
+	"parc751/internal/workload"
+)
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, ok := experiments.ByID(id)
+	if !ok {
+		b.Fatalf("experiment %s not registered", id)
+	}
+	cfg := experiments.QuickConfig()
+	allOK := 1.0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := e.Run(cfg)
+		if !res.AllPassed() {
+			allOK = 0
+		}
+	}
+	b.ReportMetric(allOK, "findings_ok")
+}
+
+// ---- One benchmark per paper exhibit ----
+
+func BenchmarkF1Nexus(b *testing.B)       { benchExperiment(b, "F1") }
+func BenchmarkF2Calendar(b *testing.B)    { benchExperiment(b, "F2") }
+func BenchmarkTAssessment(b *testing.B)   { benchExperiment(b, "TASSESS") }
+func BenchmarkAllocation(b *testing.B)    { benchExperiment(b, "EALLOC") }
+func BenchmarkProtocolAudit(b *testing.B) { benchExperiment(b, "EPROTO") }
+func BenchmarkCurriculum(b *testing.B)    { benchExperiment(b, "ECURR") }
+func BenchmarkLikert(b *testing.B)        { benchExperiment(b, "ELIKERT") }
+func BenchmarkP1Thumbnails(b *testing.B)  { benchExperiment(b, "P1") }
+func BenchmarkP2Quicksort(b *testing.B)   { benchExperiment(b, "P2") }
+func BenchmarkP3Kernels(b *testing.B)     { benchExperiment(b, "P3") }
+func BenchmarkP4TextSearch(b *testing.B)  { benchExperiment(b, "P4") }
+func BenchmarkP5Reductions(b *testing.B)  { benchExperiment(b, "P5") }
+func BenchmarkP6TaskSafe(b *testing.B)    { benchExperiment(b, "P6") }
+func BenchmarkP7PDFSearch(b *testing.B)   { benchExperiment(b, "P7") }
+func BenchmarkP8MemModel(b *testing.B)    { benchExperiment(b, "P8") }
+func BenchmarkP9Collections(b *testing.B) { benchExperiment(b, "P9") }
+func BenchmarkP10WebFetch(b *testing.B)   { benchExperiment(b, "P10") }
+
+// ---- Ablation A1: work-stealing vs global queue (DESIGN.md §5) ----
+
+func BenchmarkA1SchedulerAblation(b *testing.B) {
+	costs := make([]uint64, 1024)
+	for i := range costs {
+		costs[i] = 300 + uint64(i%7)*100
+	}
+	for _, mode := range []struct {
+		name string
+		cfg  machine.Config
+	}{
+		{"worksteal", machine.Config{Name: "ws", Procs: 16, SpeedFactor: 1, StealLatency: 200}},
+		{"globalqueue", machine.Config{Name: "gq", Procs: 16, SpeedFactor: 1, GlobalQueue: true, GlobalQueueNs: 250}},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			var makespan uint64
+			for i := 0; i < b.N; i++ {
+				makespan = machine.RunTasks(mode.cfg, costs, true).Makespan
+			}
+			b.ReportMetric(float64(makespan), "virtual_ns")
+		})
+	}
+}
+
+// ---- Ablation A2: Pyjama dynamic-schedule chunk size ----
+
+func BenchmarkA2ChunkSize(b *testing.B) {
+	const n = 100000
+	work := make([]int, n)
+	for _, chunk := range []int{1, 16, 256, 4096} {
+		b.Run(fmt.Sprintf("chunk%d", chunk), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				pyjama.ParallelFor(4, n, pyjama.Dynamic(chunk), func(j int) {
+					work[j]++
+				})
+			}
+		})
+	}
+}
+
+// ---- Ablation A3: multi-task fan-out vs recursive spawning ----
+
+func BenchmarkA3DecompositionShape(b *testing.B) {
+	const totalWork = 1 << 20
+	const leafWork = 4096
+	leaves := totalWork / leafWork
+	cfg := machine.Config{Name: "a3", Procs: 16, SpeedFactor: 1,
+		SpawnOverhead: 200, StealLatency: 400}
+
+	b.Run("flat-fanout", func(b *testing.B) {
+		var makespan uint64
+		for i := 0; i < b.N; i++ {
+			m := machine.New(cfg)
+			m.Submit(0, 100, func(ctx *machine.Ctx) {
+				for l := 0; l < leaves; l++ {
+					ctx.Spawn(leafWork, nil)
+				}
+			})
+			makespan = m.Run().Makespan
+		}
+		b.ReportMetric(float64(makespan), "virtual_ns")
+	})
+	b.Run("recursive", func(b *testing.B) {
+		var makespan uint64
+		for i := 0; i < b.N; i++ {
+			m := machine.New(cfg)
+			var spawn func(ctx *machine.Ctx, size int)
+			spawn = func(ctx *machine.Ctx, size int) {
+				if size <= leafWork {
+					return
+				}
+				half := size / 2
+				ctx.Spawn(uint64(half/64), func(c *machine.Ctx) { spawn(c, half) })
+				ctx.Spawn(uint64((size-half)/64), func(c *machine.Ctx) { spawn(c, size-half) })
+			}
+			m.Submit(0, 100, func(ctx *machine.Ctx) { spawn(ctx, totalWork) })
+			makespan = m.Run().Makespan
+		}
+		b.ReportMetric(float64(makespan), "virtual_ns")
+	})
+}
+
+// ---- Ablation A4: sharding degree of the concurrent map ----
+
+func BenchmarkA4ShardDegree(b *testing.B) {
+	for _, shards := range []int{1, 4, 16, 64} {
+		b.Run(fmt.Sprintf("shards%d", shards), func(b *testing.B) {
+			m := collections.NewShardedMap[int, int](shards)
+			for i := 0; i < 1024; i++ {
+				m.Put(i, i)
+			}
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				i := 0
+				for pb.Next() {
+					if i%5 == 0 {
+						m.Put(i%1024, i)
+					} else {
+						m.Get(i % 1024)
+					}
+					i++
+				}
+			})
+		})
+	}
+}
+
+// ---- Ablation A5: steal-latency sensitivity of the simulated machine ----
+
+func BenchmarkA5StealLatency(b *testing.B) {
+	costs := make([]uint64, 512)
+	for i := range costs {
+		costs[i] = 500
+	}
+	for _, lat := range []uint64{0, 200, 1000, 5000} {
+		b.Run(fmt.Sprintf("lat%d", lat), func(b *testing.B) {
+			cfg := machine.Config{Name: "a5", Procs: 8, SpeedFactor: 1, StealLatency: lat}
+			var makespan uint64
+			for i := 0; i < b.N; i++ {
+				// All work seeded on processor 0: maximal stealing.
+				makespan = machine.RunTasks(cfg, costs, false).Makespan
+			}
+			b.ReportMetric(float64(makespan), "virtual_ns")
+		})
+	}
+}
+
+// ---- Model-overhead comparison: cost per task/iteration in each model ----
+
+func BenchmarkModelOverheadPTask(b *testing.B) {
+	rt := ptask.NewRuntime(4)
+	defer rt.Shutdown()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ptask.Run(rt, func() (struct{}, error) { return struct{}{}, nil }).Result()
+	}
+}
+
+func BenchmarkModelOverheadPyjamaRegion(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pyjama.Parallel(4, func(tc *pyjama.TC) {})
+	}
+}
+
+func BenchmarkModelOverheadGoroutine(b *testing.B) {
+	done := make(chan struct{})
+	for i := 0; i < b.N; i++ {
+		go func() { done <- struct{}{} }()
+		<-done
+	}
+}
+
+// ---- End-to-end throughput benches over the real runtimes ----
+
+func BenchmarkEndToEndTextSearch(b *testing.B) {
+	spec := workload.DefaultFolderSpec(1)
+	folder, _ := workload.GenFolder(spec)
+	var total int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		count := 0
+		var mu sync.Mutex
+		pyjama.ParallelFor(4, len(folder.Files), pyjama.Dynamic(4), func(fi int) {
+			local := 0
+			for _, line := range folder.Files[fi].Lines {
+				if len(line) > 0 && line[0] == 'c' {
+					local++
+				}
+			}
+			mu.Lock()
+			count += local
+			mu.Unlock()
+		})
+		total = count
+	}
+	_ = total
+}

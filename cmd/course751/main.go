@@ -1,0 +1,112 @@
+// Command course751 simulates the SoftEng 751 course machinery end to
+// end: it prints the semester calendar (Figure 2), the nexus placement of
+// the course activities (Figure 1), the assessment scheme, runs the
+// first-in-first-served doodle-poll allocation for a cohort, and produces
+// the summative Likert evaluation.
+//
+// Usage:
+//
+//	course751 -students 60 -seed 2013
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"parc751/internal/course"
+	"parc751/internal/metrics"
+)
+
+func main() {
+	var (
+		students = flag.Int("students", 60, "cohort size (the paper's class was 'almost 60')")
+		size     = flag.Int("groupsize", 3, "students per group")
+		seed     = flag.Uint64("seed", 2013, "cohort seed")
+	)
+	flag.Parse()
+
+	// Figure 2: the calendar.
+	cal := metrics.NewTable("SoftEng 751 semester (Figure 2)", "week", "code", "detail")
+	for _, w := range course.Calendar() {
+		wk := "break"
+		if w.Number > 0 {
+			wk = fmt.Sprintf("%d", w.Number)
+		}
+		cal.AddRow(wk, w.Kind.Code(), w.Detail)
+	}
+	fmt.Println(cal)
+
+	// Figure 1: the nexus placement.
+	nexus := metrics.NewTable("Research-teaching nexus (Figure 1)", "activity", "quadrant", "in course")
+	for _, r := range course.NexusTable(course.SoftEng751Activities()) {
+		present := "yes"
+		if !r.Present {
+			present = "no"
+		}
+		nexus.AddRow(r.Activity, r.Quadrant.String(), present)
+	}
+	fmt.Println(nexus)
+
+	// Assessment.
+	assess := metrics.NewTable("Assessment (§III-C)", "component", "weight %", "individual")
+	for _, c := range course.AssessmentScheme() {
+		assess.AddRow(c.Name, c.Weight, c.Individual)
+	}
+	fmt.Println(assess)
+
+	// Topic selection from the wish-list (§III-D).
+	top := course.SelectTopics(course.Wishlist2013(), 10)
+	topicsTab := metrics.NewTable("Top-ten topics from the wish-list (§III-D, §IV-C)",
+		"topic", "proposer", "suitability", "android")
+	for _, tp := range top {
+		topicsTab.AddRow(tp.Title, tp.Proposer, tp.Suitability(), tp.AndroidOption)
+	}
+	fmt.Println(topicsTab)
+
+	// Allocation.
+	poll := course.DefaultPoll()
+	groups := course.FormGroups(*seed, *students, *size, poll)
+	alloc := course.Allocate(poll, groups)
+	fmt.Printf("doodle poll: %d groups over %d topics x %d slots -> %s\n",
+		len(groups), poll.Topics, poll.GroupsPerTopic, alloc.String())
+	fmt.Printf("mean preference rank received: %.2f (1 = first choice)\n\n",
+		course.Satisfaction(poll, groups, alloc))
+	topics := metrics.NewTable("Topic assignments", "topic", "groups (arrival order)")
+	for tpc := 0; tpc < poll.Topics; tpc++ {
+		topics.AddRow(tpc, fmt.Sprintf("%v", alloc.GroupsOn[tpc]))
+	}
+	fmt.Println(topics)
+
+	// Seminar self-scheduling (weeks 7-10, two presentations per lecture).
+	slots := course.SeminarCalendar(3)
+	reqs := make([]course.SlotRequest, len(groups))
+	for i, g := range groups {
+		reqs[i] = course.SlotRequest{GroupID: g.ID, Arrival: g.Arrival,
+			Prefs: course.AllSlotsPrefs(len(slots))}
+	}
+	sched := course.ScheduleSeminars(slots, reqs)
+	fmt.Printf("seminar poll: %d groups over %d slots, %d unassigned\n",
+		len(groups), len(slots), len(sched.Unassigned))
+	sem := metrics.NewTable("Seminar schedule (first 10 slots)", "slot", "group")
+	order := sched.PresentationOrder()
+	for i, g := range order {
+		if i >= 10 {
+			break
+		}
+		sem.AddRow(sched.Slots[sched.SlotOf[g]].String(), g)
+	}
+	fmt.Println(sem)
+
+	// Likert evaluation.
+	survey := metrics.NewTable("Summative evaluation (§V-A)", "question", "paper", "cohort")
+	exact := course.ExactSurvey(*students, course.PaperTargets())
+	for i, tgt := range course.PaperTargets() {
+		survey.AddRow(tgt.Text, fmt.Sprintf("%.0f%%", tgt.Agreement*100),
+			fmt.Sprintf("%.1f%%", exact[i].Agreement()*100))
+	}
+	fmt.Println(survey)
+	fmt.Println("open comments (§V-A):")
+	for _, c := range course.OpenComments() {
+		fmt.Printf("  - %q\n", c)
+	}
+}

@@ -1,0 +1,43 @@
+// Command parcaudit checks a project tree against the PARC repository
+// protocols (§IV-A): source/test/bench separation, no committed build
+// artifacts, and Linux portability (path separators, line endings).
+//
+// Usage:
+//
+//	parcaudit -dir path/to/project
+//	parcaudit -dir . -errors-only
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"parc751/internal/repohygiene"
+)
+
+func main() {
+	var (
+		dir        = flag.String("dir", ".", "project directory to audit")
+		errorsOnly = flag.Bool("errors-only", false, "report only error-severity findings")
+		maxBytes   = flag.Int64("max-bytes", 1<<20, "largest file to content-check")
+	)
+	flag.Parse()
+
+	vs, err := repohygiene.AuditFS(repohygiene.PARCDefaults(), os.DirFS(*dir), *maxBytes)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "parcaudit: %v\n", err)
+		os.Exit(1)
+	}
+	if *errorsOnly {
+		vs = repohygiene.Errors(vs)
+	}
+	for _, v := range vs {
+		fmt.Println(v)
+	}
+	nErr := len(repohygiene.Errors(vs))
+	fmt.Printf("%d finding(s), %d error(s)\n", len(vs), nErr)
+	if nErr > 0 {
+		os.Exit(1)
+	}
+}

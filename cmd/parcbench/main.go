@@ -1,0 +1,69 @@
+// Command parcbench regenerates the paper's exhibits: figures F1-F2, the
+// assessment table, the allocation and Likert evaluations, and the ten
+// project studies P1-P10. Each experiment prints the paper-shaped tables
+// and verifies its findings (the "who wins / what shape" properties
+// recorded in EXPERIMENTS.md).
+//
+// Usage:
+//
+//	parcbench -list
+//	parcbench -e P2              # one experiment, full scale
+//	parcbench -e all -quick      # everything, small sizes
+//	parcbench -e P7 -workers 8 -seed 99
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"parc751/internal/experiments"
+)
+
+func main() {
+	var (
+		expID   = flag.String("e", "all", "experiment id (F1, F2, TASSESS, EALLOC, ELIKERT, P1..P10) or 'all'")
+		quick   = flag.Bool("quick", false, "use small problem sizes")
+		seed    = flag.Uint64("seed", 751, "workload seed")
+		workers = flag.Int("workers", 4, "worker threads for real parallel execution")
+		list    = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-8s %s  [%s]\n", e.ID, e.Title, e.Paper)
+		}
+		return
+	}
+
+	cfg := experiments.Config{Seed: *seed, Quick: *quick, Workers: *workers}
+	var toRun []experiments.Experiment
+	if strings.EqualFold(*expID, "all") {
+		toRun = experiments.All()
+	} else {
+		e, ok := experiments.ByID(*expID)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "parcbench: unknown experiment %q; try -list\n", *expID)
+			os.Exit(2)
+		}
+		toRun = []experiments.Experiment{e}
+	}
+
+	failures := 0
+	for _, e := range toRun {
+		res := e.Run(cfg)
+		fmt.Println(res.Output)
+		if res.AllPassed() {
+			fmt.Printf("[%s] all %d findings hold\n\n", res.ID, len(res.Findings))
+		} else {
+			failures++
+			fmt.Printf("[%s] FAILED findings: %v\n\n", res.ID, res.FailedFindings())
+		}
+	}
+	if failures > 0 {
+		fmt.Fprintf(os.Stderr, "parcbench: %d experiment(s) had failed findings\n", failures)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,131 @@
+// Command psearch is the project 4 application as a CLI: parallel search
+// for a string (or regular expression) across the text files of a folder,
+// streaming (file, line) pairs as they are found. It can search a real
+// directory tree or a synthetic corpus.
+//
+// Usage:
+//
+//	psearch -dir /path/to/folder -q needle
+//	psearch -dir . -q 'func [A-Z]\w+' -regex -workers 8
+//	psearch -synthetic -q concurrencyNEEDLE
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"parc751/internal/ptask"
+	"parc751/internal/textsearch"
+	"parc751/internal/workload"
+)
+
+func main() {
+	var (
+		dir       = flag.String("dir", "", "directory to search (walks text-like files)")
+		query     = flag.String("q", "", "query string or pattern")
+		regex     = flag.Bool("regex", false, "treat the query as a regular expression")
+		workers   = flag.Int("workers", 4, "worker threads")
+		limit     = flag.Int("limit", 0, "stop after this many matches (0 = all)")
+		synthetic = flag.Bool("synthetic", false, "search a generated corpus instead of -dir")
+		seed      = flag.Uint64("seed", 751, "synthetic corpus seed")
+	)
+	flag.Parse()
+	if *query == "" {
+		fmt.Fprintln(os.Stderr, "psearch: -q is required")
+		os.Exit(2)
+	}
+
+	var folder *workload.Folder
+	switch {
+	case *synthetic:
+		spec := workload.DefaultFolderSpec(*seed)
+		folder, _ = workload.GenFolder(spec)
+	case *dir != "":
+		var err error
+		folder, err = loadDir(*dir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "psearch: %v\n", err)
+			os.Exit(1)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "psearch: provide -dir or -synthetic")
+		os.Exit(2)
+	}
+
+	var matcher textsearch.Matcher = textsearch.Literal(*query)
+	if *regex {
+		m, err := textsearch.CompileRegexp(*query)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "psearch: bad pattern: %v\n", err)
+			os.Exit(2)
+		}
+		matcher = m
+	}
+
+	rt := ptask.NewRuntime(*workers)
+	defer rt.Shutdown()
+	var streamed atomic.Int64
+	start := time.Now()
+	matches := textsearch.NewSearcher(rt).Search(folder, matcher, textsearch.Options{
+		Limit: int64(*limit),
+		OnMatch: func(m textsearch.Match) {
+			streamed.Add(1)
+			fmt.Printf("%s:%d: %s\n", m.Path, m.Line, m.Text)
+		},
+	})
+	elapsed := time.Since(start)
+	fmt.Printf("\n%d matches in %d files (%d lines) in %v with %d workers\n",
+		len(matches), len(folder.Files), folder.TotalLines(), elapsed, *workers)
+}
+
+// loadDir walks root and loads plausibly-textual files into a Folder.
+func loadDir(root string) (*workload.Folder, error) {
+	folder := &workload.Folder{}
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return err
+		}
+		info, err := d.Info()
+		if err != nil || info.Size() > 4<<20 {
+			return nil // skip unreadable or huge files
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil
+		}
+		if !looksTextual(data) {
+			return nil
+		}
+		folder.Files = append(folder.Files, workload.TextFile{
+			Path:  path,
+			Lines: strings.Split(string(data), "\n"),
+		})
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if len(folder.Files) == 0 {
+		return nil, fmt.Errorf("no text files under %s", root)
+	}
+	return folder, nil
+}
+
+func looksTextual(data []byte) bool {
+	n := len(data)
+	if n > 1024 {
+		n = 1024
+	}
+	for _, b := range data[:n] {
+		if b == 0 {
+			return false
+		}
+	}
+	return true
+}

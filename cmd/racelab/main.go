@@ -1,0 +1,26 @@
+// Command racelab serves the interactive parallel-programming-pitfall
+// webpages (§V-B of the paper: "interactive webpages that helped explain
+// typical race conditions and other parallel programming pitfalls").
+//
+// Usage:
+//
+//	racelab -addr :8751
+//
+// then open http://localhost:8751/ in a browser.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+
+	"parc751/internal/racelab"
+)
+
+func main() {
+	addr := flag.String("addr", ":8751", "listen address")
+	flag.Parse()
+	fmt.Printf("racelab: serving pitfall demos %v on %s\n", racelab.DemoNames(), *addr)
+	log.Fatal(http.ListenAndServe(*addr, racelab.Handler()))
+}

@@ -1,0 +1,14 @@
+// Package parc751 reproduces "EA: Research-infused teaching of parallel
+// programming concepts for undergraduate Software Engineering students"
+// (Giacaman & Sinnen, IPDPSW 2014) as a Go library suite: the Parallel
+// Task task-parallelism model (internal/ptask), the Pyjama OpenMP-like
+// directive model (internal/pyjama), the ten SoftEng 751 student projects
+// built on them, the PARC-machine simulator that reproduces the paper's
+// hardware, and the course machinery behind its figures and evaluation.
+//
+// See README.md for a tour, DESIGN.md for the system inventory, and
+// EXPERIMENTS.md for the paper-versus-measured record. The benchmark
+// harness in bench_test.go regenerates every exhibit:
+//
+//	go test -bench=. -benchmem .
+package parc751

@@ -1,0 +1,70 @@
+// Android example (project 1, second group): the thumbnail application
+// expressed with Android's concurrency primitives — AsyncTask with
+// progress on the main looper, plus the SERIAL_EXECUTOR pitfall that
+// silently serialises "parallel" AsyncTasks. Run with:
+//
+//	go run ./examples/android
+package main
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"parc751/internal/android"
+	"parc751/internal/thumbs"
+	"parc751/internal/workload"
+)
+
+func main() {
+	main_ := android.NewLooper()
+	defer main_.Quit()
+	imgs := workload.GenImageSet(3, 24, 64, 160)
+
+	fmt.Println("AsyncTask: doInBackground -> onProgressUpdate -> onPostExecute")
+	var shown atomic.Int32
+	task := android.NewAsyncTask[[]*workload.Image, int, []*workload.Image](main_)
+	task.OnPreExecute = func() { fmt.Println("  [main] onPreExecute: showing spinner") }
+	task.OnProgressUpdate = func(i int) { shown.Add(1) }
+	task.OnPostExecute = func(out []*workload.Image) {
+		fmt.Printf("  [main] onPostExecute: %d thumbnails ready\n", len(out))
+	}
+	task.DoInBackground = func(tk *android.AsyncTask[[]*workload.Image, int, []*workload.Image], in []*workload.Image) []*workload.Image {
+		out := make([]*workload.Image, len(in))
+		for i, im := range in {
+			if tk.IsCancelled() {
+				return out[:i]
+			}
+			out[i] = thumbs.Scale(im, 48, 48)
+			tk.PublishProgress(i)
+		}
+		return out
+	}
+	start := time.Now()
+	task.Execute(imgs)
+	if _, err := task.Get(); err != nil {
+		panic(err)
+	}
+	android.NewHandler(main_).PostAndWait(func() {})
+	fmt.Printf("  %d progress updates on the main looper in %v\n\n",
+		shown.Load(), time.Since(start).Round(time.Millisecond))
+
+	fmt.Println("the SERIAL_EXECUTOR pitfall: 8 'parallel' jobs, one at a time")
+	exec := android.NewSerialExecutor()
+	var concurrent, peak atomic.Int32
+	for i := 0; i < 8; i++ {
+		exec.Submit(func() {
+			c := concurrent.Add(1)
+			for {
+				p := peak.Load()
+				if c <= p || peak.CompareAndSwap(p, c) {
+					break
+				}
+			}
+			time.Sleep(2 * time.Millisecond)
+			concurrent.Add(-1)
+		})
+	}
+	exec.Wait()
+	fmt.Printf("  peak concurrency observed: %d (post-Honeycomb AsyncTask default)\n", peak.Load())
+}

@@ -1,0 +1,66 @@
+// Quickstart: the two programming models in one page.
+//
+// Parallel Task expresses asynchronous work as tasks with dependences and
+// GUI-thread completion handlers; Pyjama expresses it as OpenMP-style
+// parallel regions with workshared loops and reductions. Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"parc751/internal/eventloop"
+	"parc751/internal/ptask"
+	"parc751/internal/pyjama"
+	"parc751/internal/reduction"
+)
+
+func main() {
+	// ---- Parallel Task ----
+	rt := ptask.NewRuntime(4)
+	defer rt.Shutdown()
+	loop := eventloop.New()
+	defer loop.Close()
+	rt.SetEventLoop(loop) // completion handlers hop onto the "GUI thread"
+
+	// A task is a future.
+	double := ptask.Run(rt, func() (int, error) { return 21 * 2, nil })
+
+	// Tasks can depend on other tasks (the task DAG).
+	squared := ptask.RunAfter(rt, []ptask.Dep{double}, func() (int, error) {
+		v, err := double.Result()
+		return v * v, err
+	})
+
+	// A multi-task (TASK(*)) fans out one sub-task per element and can
+	// deliver interim results as they complete.
+	multi := ptask.RunMulti(rt, 8, func(i int) (int, error) { return i * i, nil })
+	multi.NotifyEach(func(i, v int, err error) {
+		// Runs on the event loop: safe place to update UI state.
+		_ = v
+	})
+
+	v1, _ := double.Result()
+	v2, _ := squared.Result()
+	squares, _ := multi.Results()
+	fmt.Println("parallel task:", v1, v2, squares)
+
+	// ---- Pyjama ----
+	// #omp parallel num_threads(4) { #omp for reduction(+:sum) }
+	sum := pyjama.ParallelForReduce(4, 1000, pyjama.Dynamic(64),
+		reduction.Sum[int](), func(i, acc int) int { return acc + i })
+
+	// Worksharing with explicit team control.
+	hist := make([]int, 4)
+	pyjama.Parallel(4, func(tc *pyjama.TC) {
+		tc.For(100, pyjama.Static(0), func(i int) {
+			// Each index executed exactly once across the team.
+			_ = i
+		})
+		tc.Critical("hist", func() { hist[tc.ThreadNum()]++ })
+		tc.Barrier()
+		tc.Master(func() { fmt.Println("pyjama: sum(0..999) =", sum, "team =", tc.NumThreads()) })
+	})
+	fmt.Println("per-thread critical entries:", hist)
+}

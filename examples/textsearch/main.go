@@ -1,0 +1,53 @@
+// Text search example (project 4): search a synthetic folder tree for a
+// planted needle, streaming (file, line) pairs while the search runs. Run
+// with:
+//
+//	go run ./examples/textsearch
+package main
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"parc751/internal/eventloop"
+	"parc751/internal/ptask"
+	"parc751/internal/textsearch"
+	"parc751/internal/workload"
+)
+
+func main() {
+	spec := workload.DefaultFolderSpec(99)
+	spec.NumFiles = 300
+	folder, planted := workload.GenFolder(spec)
+	fmt.Printf("corpus: %d files, %d lines, %d planted needles\n",
+		len(folder.Files), folder.TotalLines(), planted)
+
+	rt := ptask.NewRuntime(4)
+	defer rt.Shutdown()
+	loop := eventloop.New()
+	defer loop.Close()
+	rt.SetEventLoop(loop)
+
+	var shown atomic.Int32
+	start := time.Now()
+	matches := textsearch.NewSearcher(rt).Search(folder,
+		textsearch.Literal(spec.NeedleWord),
+		textsearch.Options{OnMatch: func(m textsearch.Match) {
+			// Streamed on the event loop while the search continues.
+			n := shown.Add(1)
+			if n <= 5 {
+				fmt.Printf("  [live] %s:%d\n", m.Path, m.Line)
+			}
+		}})
+	fmt.Printf("found %d matches in %v (first 5 shown live)\n",
+		len(matches), time.Since(start).Round(time.Microsecond))
+
+	// Regular-expression mode.
+	re, err := textsearch.CompileRegexp(`concurrency[A-Z]+`)
+	if err != nil {
+		panic(err)
+	}
+	reMatches := textsearch.NewSearcher(rt).Search(folder, re, textsearch.Options{})
+	fmt.Printf("regexp mode found %d matches\n", len(reMatches))
+}

@@ -1,0 +1,52 @@
+// Web fetch example (project 10): how many concurrent connections should
+// a downloader open? Sweeps the connection count over a simulated network
+// and then validates the winner against a real loopback HTTP server with
+// injected latency. Run with:
+//
+//	go run ./examples/webfetch
+package main
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"time"
+
+	"parc751/internal/ptask"
+	"parc751/internal/webfetch"
+	"parc751/internal/workload"
+)
+
+func main() {
+	pages := workload.GenPages(42, 200, 2000, 80000)
+	cfg := webfetch.DefaultSimConfig()
+
+	fmt.Println("simulated network: 80 ms RTT, 2 MB/s shared bandwidth")
+	conns := []int{1, 2, 4, 8, 16, 32, 64, 128}
+	for i, r := range webfetch.Sweep(pages, conns, cfg) {
+		fmt.Printf("  %3d connections: %6.2fs  (%.0f KB/s)\n",
+			conns[i], r.Makespan, r.Throughput/1000)
+	}
+	best := webfetch.BestConnections(pages, conns, cfg)
+	fmt.Printf("best connection count: %d (bandwidth floor %.2fs)\n\n",
+		best, webfetch.LowerBound(pages, cfg))
+
+	// Real loopback validation: a server with 15 ms latency per request.
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		time.Sleep(15 * time.Millisecond)
+		w.Write(make([]byte, 4096))
+	}))
+	defer srv.Close()
+	urls := make([]string, 32)
+	for i := range urls {
+		urls[i] = srv.URL + "/page"
+	}
+	rt := ptask.NewRuntime(8)
+	defer rt.Shutdown()
+	fmt.Println("real loopback server (15 ms injected latency, 32 pages):")
+	for _, k := range []int{1, 4, 16} {
+		f := webfetch.NewFetcher(rt, srv.Client(), k)
+		_, d := f.TimedFetchAll(urls)
+		fmt.Printf("  %2d connections: %v\n", k, d.Round(time.Millisecond))
+	}
+}

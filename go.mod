@@ -1,0 +1,3 @@
+module parc751
+
+go 1.24

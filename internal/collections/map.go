@@ -1,0 +1,269 @@
+package collections
+
+import (
+	"hash/maphash"
+	"sync"
+)
+
+// Map is the abstract concurrent map all variants implement.
+type Map[K comparable, V any] interface {
+	// Get returns the value for k.
+	Get(k K) (V, bool)
+	// Put stores v under k.
+	Put(k K, v V)
+	// Delete removes k.
+	Delete(k K)
+	// GetOrCompute returns the existing value for k, or stores and
+	// returns compute()'s result atomically. This compound operation is
+	// the task-safe counterpart of the racy check-then-act pattern
+	// (project 6): two tasks calling it concurrently observe exactly one
+	// computed value.
+	GetOrCompute(k K, compute func() V) V
+	// Len reports the number of entries.
+	Len() int
+}
+
+// MutexMap is the coarse-locked baseline.
+type MutexMap[K comparable, V any] struct {
+	mu sync.Mutex
+	m  map[K]V
+}
+
+// NewMutexMap returns an empty coarse-locked map.
+func NewMutexMap[K comparable, V any]() *MutexMap[K, V] {
+	return &MutexMap[K, V]{m: map[K]V{}}
+}
+
+// Get implements Map.
+func (mm *MutexMap[K, V]) Get(k K) (V, bool) {
+	mm.mu.Lock()
+	defer mm.mu.Unlock()
+	v, ok := mm.m[k]
+	return v, ok
+}
+
+// Put implements Map.
+func (mm *MutexMap[K, V]) Put(k K, v V) {
+	mm.mu.Lock()
+	mm.m[k] = v
+	mm.mu.Unlock()
+}
+
+// Delete implements Map.
+func (mm *MutexMap[K, V]) Delete(k K) {
+	mm.mu.Lock()
+	delete(mm.m, k)
+	mm.mu.Unlock()
+}
+
+// GetOrCompute implements Map.
+func (mm *MutexMap[K, V]) GetOrCompute(k K, compute func() V) V {
+	mm.mu.Lock()
+	defer mm.mu.Unlock()
+	if v, ok := mm.m[k]; ok {
+		return v
+	}
+	v := compute()
+	mm.m[k] = v
+	return v
+}
+
+// Len implements Map.
+func (mm *MutexMap[K, V]) Len() int {
+	mm.mu.Lock()
+	defer mm.mu.Unlock()
+	return len(mm.m)
+}
+
+// RWMutexMap uses a reader/writer lock, winning on read-heavy mixes.
+type RWMutexMap[K comparable, V any] struct {
+	mu sync.RWMutex
+	m  map[K]V
+}
+
+// NewRWMutexMap returns an empty reader/writer-locked map.
+func NewRWMutexMap[K comparable, V any]() *RWMutexMap[K, V] {
+	return &RWMutexMap[K, V]{m: map[K]V{}}
+}
+
+// Get implements Map.
+func (mm *RWMutexMap[K, V]) Get(k K) (V, bool) {
+	mm.mu.RLock()
+	defer mm.mu.RUnlock()
+	v, ok := mm.m[k]
+	return v, ok
+}
+
+// Put implements Map.
+func (mm *RWMutexMap[K, V]) Put(k K, v V) {
+	mm.mu.Lock()
+	mm.m[k] = v
+	mm.mu.Unlock()
+}
+
+// Delete implements Map.
+func (mm *RWMutexMap[K, V]) Delete(k K) {
+	mm.mu.Lock()
+	delete(mm.m, k)
+	mm.mu.Unlock()
+}
+
+// GetOrCompute implements Map: fast read path, then write-locked
+// double-check.
+func (mm *RWMutexMap[K, V]) GetOrCompute(k K, compute func() V) V {
+	mm.mu.RLock()
+	if v, ok := mm.m[k]; ok {
+		mm.mu.RUnlock()
+		return v
+	}
+	mm.mu.RUnlock()
+	mm.mu.Lock()
+	defer mm.mu.Unlock()
+	if v, ok := mm.m[k]; ok {
+		return v
+	}
+	v := compute()
+	mm.m[k] = v
+	return v
+}
+
+// Len implements Map.
+func (mm *RWMutexMap[K, V]) Len() int {
+	mm.mu.RLock()
+	defer mm.mu.RUnlock()
+	return len(mm.m)
+}
+
+// ShardedMap hashes keys across independently locked shards, the standard
+// contention-spreading design (java.util.concurrent.ConcurrentHashMap's
+// segmented ancestor).
+type ShardedMap[K comparable, V any] struct {
+	seed   maphash.Seed
+	shards []mapShard[K, V]
+}
+
+type mapShard[K comparable, V any] struct {
+	mu sync.RWMutex
+	m  map[K]V
+	_  [40]byte // pad shards apart to reduce false sharing
+}
+
+// NewShardedMap returns a map with the given shard count (rounded up to a
+// power of two, minimum 1).
+func NewShardedMap[K comparable, V any](shards int) *ShardedMap[K, V] {
+	n := 1
+	for n < shards {
+		n <<= 1
+	}
+	sm := &ShardedMap[K, V]{seed: maphash.MakeSeed(), shards: make([]mapShard[K, V], n)}
+	for i := range sm.shards {
+		sm.shards[i].m = map[K]V{}
+	}
+	return sm
+}
+
+// Shards reports the shard count.
+func (sm *ShardedMap[K, V]) Shards() int { return len(sm.shards) }
+
+func (sm *ShardedMap[K, V]) shard(k K) *mapShard[K, V] {
+	h := maphash.Comparable(sm.seed, k)
+	return &sm.shards[h&uint64(len(sm.shards)-1)]
+}
+
+// Get implements Map.
+func (sm *ShardedMap[K, V]) Get(k K) (V, bool) {
+	s := sm.shard(k)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	v, ok := s.m[k]
+	return v, ok
+}
+
+// Put implements Map.
+func (sm *ShardedMap[K, V]) Put(k K, v V) {
+	s := sm.shard(k)
+	s.mu.Lock()
+	s.m[k] = v
+	s.mu.Unlock()
+}
+
+// Delete implements Map.
+func (sm *ShardedMap[K, V]) Delete(k K) {
+	s := sm.shard(k)
+	s.mu.Lock()
+	delete(s.m, k)
+	s.mu.Unlock()
+}
+
+// GetOrCompute implements Map.
+func (sm *ShardedMap[K, V]) GetOrCompute(k K, compute func() V) V {
+	s := sm.shard(k)
+	s.mu.RLock()
+	if v, ok := s.m[k]; ok {
+		s.mu.RUnlock()
+		return v
+	}
+	s.mu.RUnlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if v, ok := s.m[k]; ok {
+		return v
+	}
+	v := compute()
+	s.m[k] = v
+	return v
+}
+
+// Len implements Map.
+func (sm *ShardedMap[K, V]) Len() int {
+	n := 0
+	for i := range sm.shards {
+		sm.shards[i].mu.RLock()
+		n += len(sm.shards[i].m)
+		sm.shards[i].mu.RUnlock()
+	}
+	return n
+}
+
+// SyncMap adapts sync.Map to the Map interface — the stdlib contender in
+// the project 9 comparison.
+type SyncMap[K comparable, V any] struct {
+	m sync.Map
+}
+
+// NewSyncMap returns an empty sync.Map-backed map.
+func NewSyncMap[K comparable, V any]() *SyncMap[K, V] { return &SyncMap[K, V]{} }
+
+// Get implements Map.
+func (sm *SyncMap[K, V]) Get(k K) (V, bool) {
+	v, ok := sm.m.Load(k)
+	if !ok {
+		var zero V
+		return zero, false
+	}
+	return v.(V), true
+}
+
+// Put implements Map.
+func (sm *SyncMap[K, V]) Put(k K, v V) { sm.m.Store(k, v) }
+
+// Delete implements Map.
+func (sm *SyncMap[K, V]) Delete(k K) { sm.m.Delete(k) }
+
+// GetOrCompute implements Map. Note: with sync.Map, concurrent first
+// computations may both run compute, but exactly one value is stored and
+// returned to everyone — the documented LoadOrStore semantics.
+func (sm *SyncMap[K, V]) GetOrCompute(k K, compute func() V) V {
+	if v, ok := sm.m.Load(k); ok {
+		return v.(V)
+	}
+	v, _ := sm.m.LoadOrStore(k, compute())
+	return v.(V)
+}
+
+// Len implements Map (O(n) for sync.Map).
+func (sm *SyncMap[K, V]) Len() int {
+	n := 0
+	sm.m.Range(func(_, _ any) bool { n++; return true })
+	return n
+}

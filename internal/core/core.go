@@ -1,0 +1,425 @@
+// Package core provides the shared parallel-runtime primitives that both
+// reproduced programming models — Parallel Task (internal/ptask) and
+// Pyjama (internal/pyjama) — are built on: a work-stealing worker pool
+// with blocking-free joins ("helping"), futures with panic capture,
+// a cyclic barrier, and iteration-range splitting.
+//
+// Keeping these in one substrate mirrors the PARC lab's architecture,
+// where both tools share a runtime library beneath their language fronts.
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"parc751/internal/sched"
+)
+
+// PanicError wraps a recovered panic value with the stack at the point of
+// recovery, so a task failure surfaces as an ordinary error on the future
+// instead of killing a worker (the Parallel Task "asynchronous exception"
+// model).
+type PanicError struct {
+	Value any
+	Stack string
+}
+
+// Error implements the error interface.
+func (e *PanicError) Error() string { return fmt.Sprintf("task panicked: %v", e.Value) }
+
+// Catch runs fn, converting a panic into a *PanicError.
+func Catch(fn func()) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			buf := make([]byte, 8192)
+			n := runtime.Stack(buf, false)
+			err = &PanicError{Value: r, Stack: string(buf[:n])}
+		}
+	}()
+	fn()
+	return nil
+}
+
+// Future is a write-once result container. The zero value is not usable;
+// create with NewFuture.
+type Future[T any] struct {
+	done chan struct{}
+	once sync.Once
+	val  T
+	err  error
+}
+
+// NewFuture returns an incomplete future.
+func NewFuture[T any]() *Future[T] {
+	return &Future[T]{done: make(chan struct{})}
+}
+
+// Complete fulfils the future. Later completions are ignored (write-once).
+func (f *Future[T]) Complete(v T, err error) {
+	f.once.Do(func() {
+		f.val, f.err = v, err
+		close(f.done)
+	})
+}
+
+// Done returns a channel closed when the future completes.
+func (f *Future[T]) Done() <-chan struct{} { return f.done }
+
+// IsDone reports completion without blocking.
+func (f *Future[T]) IsDone() bool {
+	select {
+	case <-f.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// Get blocks until completion and returns the value and error.
+func (f *Future[T]) Get() (T, error) {
+	<-f.done
+	return f.val, f.err
+}
+
+// TryGet returns immediately; ok is false if the future is incomplete.
+func (f *Future[T]) TryGet() (v T, err error, ok bool) {
+	select {
+	case <-f.done:
+		return f.val, f.err, true
+	default:
+		var zero T
+		return zero, nil, false
+	}
+}
+
+// Pool is a work-stealing worker pool: each worker owns a deque (LIFO for
+// its own spawns, FIFO for thieves) and falls back to a global FIFO for
+// external submissions, matching the Parallel Task runtime's design.
+type Pool struct {
+	workers []*worker
+	global  sched.FIFO[func()]
+	victims *sched.RandomVictims
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	queued   int64 // tasks sitting in any queue
+	shutdown bool
+
+	inflight atomic.Int64 // queued + running
+	executed atomic.Int64
+	wg       sync.WaitGroup
+
+	gidMu sync.RWMutex
+	gids  map[int64]*worker
+}
+
+type worker struct {
+	id    int
+	deque *sched.Deque[func()]
+	pool  *Pool
+}
+
+// NewPool starts a pool with n workers (n < 1 is treated as 1).
+func NewPool(n int) *Pool {
+	if n < 1 {
+		n = 1
+	}
+	p := &Pool{
+		workers: make([]*worker, n),
+		victims: sched.NewRandomVictims(n, 0x5157),
+		gids:    map[int64]*worker{},
+	}
+	p.cond = sync.NewCond(&p.mu)
+	for i := range p.workers {
+		p.workers[i] = &worker{id: i, deque: sched.NewDeque[func()](64), pool: p}
+	}
+	p.wg.Add(n)
+	for _, w := range p.workers {
+		go w.run()
+	}
+	return p
+}
+
+// Size returns the number of workers.
+func (p *Pool) Size() int { return len(p.workers) }
+
+// Executed returns the number of tasks that have finished running.
+func (p *Pool) Executed() int64 { return p.executed.Load() }
+
+// Submit schedules fn. Called from a worker goroutine, the task goes on
+// that worker's own deque (depth-first, cache-friendly); called from
+// outside, it goes on the global queue.
+func (p *Pool) Submit(fn func()) {
+	p.inflight.Add(1)
+	if w := p.currentWorker(); w != nil {
+		w.deque.PushBottom(fn)
+	} else {
+		p.global.Push(fn)
+	}
+	p.mu.Lock()
+	p.queued++
+	p.cond.Broadcast()
+	p.mu.Unlock()
+}
+
+// OnWorker reports whether the calling goroutine is one of the pool's
+// workers.
+func (p *Pool) OnWorker() bool { return p.currentWorker() != nil }
+
+func (p *Pool) currentWorker() *worker {
+	p.gidMu.RLock()
+	w := p.gids[goroutineID()]
+	p.gidMu.RUnlock()
+	return w
+}
+
+func (w *worker) run() {
+	p := w.pool
+	gid := goroutineID()
+	p.gidMu.Lock()
+	p.gids[gid] = w
+	p.gidMu.Unlock()
+	defer func() {
+		p.gidMu.Lock()
+		delete(p.gids, gid)
+		p.gidMu.Unlock()
+		p.wg.Done()
+	}()
+	for {
+		fn, ok := p.findWork(w)
+		if !ok {
+			p.mu.Lock()
+			for p.queued == 0 && !p.shutdown {
+				p.cond.Wait()
+			}
+			stop := p.shutdown && p.queued == 0
+			p.mu.Unlock()
+			if stop {
+				return
+			}
+			continue
+		}
+		p.runTask(fn)
+	}
+}
+
+// findWork implements the acquisition order: own deque, global queue, then
+// one steal round over random victims.
+func (p *Pool) findWork(w *worker) (func(), bool) {
+	if w != nil {
+		if fn, ok := w.deque.PopBottom(); ok {
+			p.noteTaken()
+			return fn, true
+		}
+	}
+	if fn, ok := p.global.Pop(); ok {
+		p.noteTaken()
+		return fn, true
+	}
+	if w != nil {
+		for i := 1; i < len(p.workers); i++ {
+			v := p.victims.Next(w.id)
+			if fn, ok := p.workers[v].deque.Steal(); ok {
+				p.noteTaken()
+				return fn, true
+			}
+		}
+	}
+	return nil, false
+}
+
+func (p *Pool) noteTaken() {
+	p.mu.Lock()
+	p.queued--
+	p.mu.Unlock()
+}
+
+func (p *Pool) runTask(fn func()) {
+	// Panics are contained per-task; the task wrapper (e.g. a ptask
+	// future) is responsible for recording them. A bare Submit that
+	// panics must still not kill the worker.
+	_ = Catch(fn)
+	p.executed.Add(1)
+	p.inflight.Add(-1)
+}
+
+// Help runs queued tasks on the calling goroutine until done is closed.
+// This is how joins avoid deadlock: a worker (or any goroutine) waiting on
+// a future keeps executing other tasks instead of blocking, so recursive
+// decompositions complete on pools of any size.
+func (p *Pool) Help(done <-chan struct{}) {
+	w := p.currentWorker()
+	for {
+		select {
+		case <-done:
+			return
+		default:
+		}
+		fn, ok := p.findWork(w)
+		if !ok {
+			select {
+			case <-done:
+				return
+			case <-time.After(50 * time.Microsecond):
+			}
+			continue
+		}
+		p.runTask(fn)
+	}
+}
+
+// Quiesce blocks until no tasks are queued or running. It must not be
+// called from a worker.
+func (p *Pool) Quiesce() {
+	for p.inflight.Load() != 0 {
+		time.Sleep(100 * time.Microsecond)
+	}
+}
+
+// Shutdown waits for all submitted work to finish, then stops the workers.
+// The pool must not be used afterwards.
+func (p *Pool) Shutdown() {
+	p.Quiesce()
+	p.mu.Lock()
+	p.shutdown = true
+	p.cond.Broadcast()
+	p.mu.Unlock()
+	p.wg.Wait()
+}
+
+// ErrBarrierAborted is the panic value delivered to parties blocked in
+// Await when the barrier is aborted (because a sibling died and can never
+// arrive).
+var ErrBarrierAborted = errors.New("core: barrier aborted")
+
+// Barrier is a reusable (cyclic) barrier for a fixed number of parties.
+type Barrier struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	parties int
+	waiting int
+	gen     int
+	aborted bool
+}
+
+// NewBarrier creates a barrier for parties participants (minimum 1).
+func NewBarrier(parties int) *Barrier {
+	if parties < 1 {
+		parties = 1
+	}
+	b := &Barrier{parties: parties}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// Await blocks until all parties have called Await, then releases them
+// all. It returns the index of this barrier generation (0, 1, 2, ...), and
+// true for exactly one caller per generation (the "serial thread", which
+// OpenMP uses for single-after-barrier semantics).
+// Await panics with ErrBarrierAborted (in every blocked or future caller)
+// once Abort has been called, so a dead sibling cannot deadlock the team.
+func (b *Barrier) Await() (gen int, serial bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.aborted {
+		panic(ErrBarrierAborted)
+	}
+	gen = b.gen
+	b.waiting++
+	if b.waiting == b.parties {
+		b.waiting = 0
+		b.gen++
+		b.cond.Broadcast()
+		return gen, true
+	}
+	for gen == b.gen && !b.aborted {
+		b.cond.Wait()
+	}
+	if b.aborted && gen == b.gen {
+		panic(ErrBarrierAborted)
+	}
+	return gen, false
+}
+
+// Abort permanently breaks the barrier: every party blocked in Await (and
+// every later caller) panics with ErrBarrierAborted. Used when a party
+// dies and can never arrive.
+func (b *Barrier) Abort() {
+	b.mu.Lock()
+	b.aborted = true
+	b.cond.Broadcast()
+	b.mu.Unlock()
+}
+
+// Parties returns the number of participants.
+func (b *Barrier) Parties() int { return b.parties }
+
+// Chunk is a half-open index range [Lo, Hi).
+type Chunk struct{ Lo, Hi int }
+
+// Len returns the number of indices in the chunk.
+func (c Chunk) Len() int { return c.Hi - c.Lo }
+
+// StaticChunks splits [0, n) into at most p contiguous chunks whose sizes
+// differ by at most one — OpenMP's schedule(static) decomposition. Fewer
+// than p chunks are returned when n < p.
+func StaticChunks(n, p int) []Chunk {
+	if n <= 0 || p <= 0 {
+		return nil
+	}
+	if p > n {
+		p = n
+	}
+	chunks := make([]Chunk, 0, p)
+	base, rem := n/p, n%p
+	lo := 0
+	for i := 0; i < p; i++ {
+		size := base
+		if i < rem {
+			size++
+		}
+		chunks = append(chunks, Chunk{lo, lo + size})
+		lo += size
+	}
+	return chunks
+}
+
+// BlockChunks splits [0, n) into fixed-size blocks of the given chunk size
+// (the unit handed out by dynamic schedules).
+func BlockChunks(n, chunk int) []Chunk {
+	if n <= 0 || chunk <= 0 {
+		return nil
+	}
+	chunks := make([]Chunk, 0, (n+chunk-1)/chunk)
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		chunks = append(chunks, Chunk{lo, hi})
+	}
+	return chunks
+}
+
+// goroutineID extracts the current goroutine's id from the runtime stack
+// header. Stdlib-only worker identification; called on submit paths, not
+// inner loops.
+func goroutineID() int64 {
+	var buf [64]byte
+	n := runtime.Stack(buf[:], false)
+	fields := bytes.Fields(buf[:n])
+	if len(fields) < 2 {
+		return -1
+	}
+	id, err := strconv.ParseInt(string(fields[1]), 10, 64)
+	if err != nil {
+		return -1
+	}
+	return id
+}

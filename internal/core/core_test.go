@@ -1,0 +1,435 @@
+package core
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestCatchNoPanic(t *testing.T) {
+	if err := Catch(func() {}); err != nil {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestCatchPanic(t *testing.T) {
+	err := Catch(func() { panic("boom") })
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want PanicError", err)
+	}
+	if pe.Value != "boom" {
+		t.Errorf("Value = %v", pe.Value)
+	}
+	if pe.Stack == "" {
+		t.Error("stack missing")
+	}
+	if pe.Error() == "" {
+		t.Error("empty error text")
+	}
+}
+
+func TestFutureCompleteAndGet(t *testing.T) {
+	f := NewFuture[int]()
+	if f.IsDone() {
+		t.Fatal("new future claims done")
+	}
+	if _, _, ok := f.TryGet(); ok {
+		t.Fatal("TryGet on incomplete future")
+	}
+	go f.Complete(42, nil)
+	v, err := f.Get()
+	if v != 42 || err != nil {
+		t.Fatalf("Get = %d, %v", v, err)
+	}
+	if !f.IsDone() {
+		t.Fatal("done future claims incomplete")
+	}
+	if v, _, ok := f.TryGet(); !ok || v != 42 {
+		t.Fatalf("TryGet = %d, %v", v, ok)
+	}
+}
+
+func TestFutureWriteOnce(t *testing.T) {
+	f := NewFuture[string]()
+	f.Complete("first", nil)
+	f.Complete("second", errors.New("late"))
+	v, err := f.Get()
+	if v != "first" || err != nil {
+		t.Fatalf("second completion overwrote: %q, %v", v, err)
+	}
+}
+
+func TestFutureError(t *testing.T) {
+	f := NewFuture[int]()
+	want := errors.New("failed")
+	f.Complete(0, want)
+	if _, err := f.Get(); err != want {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestPoolRunsAllTasks(t *testing.T) {
+	p := NewPool(4)
+	defer p.Shutdown()
+	var n atomic.Int64
+	const tasks = 1000
+	for i := 0; i < tasks; i++ {
+		p.Submit(func() { n.Add(1) })
+	}
+	p.Quiesce()
+	if n.Load() != tasks {
+		t.Fatalf("ran %d of %d", n.Load(), tasks)
+	}
+	if p.Executed() < tasks {
+		t.Fatalf("Executed = %d", p.Executed())
+	}
+}
+
+func TestPoolSizeClamp(t *testing.T) {
+	p := NewPool(0)
+	defer p.Shutdown()
+	if p.Size() != 1 {
+		t.Fatalf("Size = %d, want 1", p.Size())
+	}
+}
+
+func TestPoolSurvivesPanickingTask(t *testing.T) {
+	p := NewPool(2)
+	defer p.Shutdown()
+	p.Submit(func() { panic("task bug") })
+	var ok atomic.Bool
+	p.Submit(func() { ok.Store(true) })
+	p.Quiesce()
+	if !ok.Load() {
+		t.Fatal("pool died after a panicking task")
+	}
+}
+
+func TestOnWorker(t *testing.T) {
+	p := NewPool(2)
+	defer p.Shutdown()
+	if p.OnWorker() {
+		t.Fatal("test goroutine claims worker status")
+	}
+	res := make(chan bool, 1)
+	p.Submit(func() { res <- p.OnWorker() })
+	if !<-res {
+		t.Fatal("task not recognised as on-worker")
+	}
+}
+
+func TestSubmitFromWorkerUsesOwnDeque(t *testing.T) {
+	// Nested submission must work and run everything.
+	p := NewPool(2)
+	defer p.Shutdown()
+	var n atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(10 * 10)
+	for i := 0; i < 10; i++ {
+		p.Submit(func() {
+			for j := 0; j < 10; j++ {
+				p.Submit(func() {
+					n.Add(1)
+					wg.Done()
+				})
+			}
+		})
+	}
+	wg.Wait()
+	if n.Load() != 100 {
+		t.Fatalf("nested tasks ran %d", n.Load())
+	}
+}
+
+// TestHelpAvoidsJoinDeadlock is the critical runtime property: a
+// single-worker pool running a task that blocks on child futures would
+// deadlock without helping.
+func TestHelpAvoidsJoinDeadlock(t *testing.T) {
+	p := NewPool(1)
+	defer p.Shutdown()
+	result := make(chan int, 1)
+	p.Submit(func() {
+		child := NewFuture[int]()
+		p.Submit(func() { child.Complete(7, nil) })
+		p.Help(child.Done())
+		v, _ := child.Get()
+		result <- v
+	})
+	select {
+	case v := <-result:
+		if v != 7 {
+			t.Fatalf("child result = %d", v)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("join deadlocked on single-worker pool")
+	}
+}
+
+func TestHelpRecursive(t *testing.T) {
+	// Recursive fib-style decomposition on a 2-worker pool: every level
+	// joins on children; helping must keep all of it moving.
+	p := NewPool(2)
+	defer p.Shutdown()
+	var fib func(n int) int
+	fib = func(n int) int {
+		if n < 2 {
+			return n
+		}
+		f := NewFuture[int]()
+		p.Submit(func() { f.Complete(fib(n-1), nil) })
+		b := fib(n - 2)
+		p.Help(f.Done())
+		a, _ := f.Get()
+		return a + b
+	}
+	done := make(chan int, 1)
+	p.Submit(func() { done <- fib(12) })
+	select {
+	case v := <-done:
+		if v != 144 {
+			t.Fatalf("fib(12) = %d", v)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("recursive join deadlocked")
+	}
+}
+
+func TestHelpFromExternalGoroutine(t *testing.T) {
+	p := NewPool(1)
+	defer p.Shutdown()
+	f := NewFuture[int]()
+	p.Submit(func() { f.Complete(1, nil) })
+	p.Help(f.Done()) // external helper: must return once future completes
+	if !f.IsDone() {
+		t.Fatal("future incomplete after Help returned")
+	}
+}
+
+func TestShutdownRunsBacklog(t *testing.T) {
+	p := NewPool(2)
+	var n atomic.Int64
+	for i := 0; i < 500; i++ {
+		p.Submit(func() { n.Add(1) })
+	}
+	p.Shutdown()
+	if n.Load() != 500 {
+		t.Fatalf("%d of 500 ran before shutdown", n.Load())
+	}
+}
+
+func TestBarrierReleasesTogether(t *testing.T) {
+	const parties = 4
+	b := NewBarrier(parties)
+	var before, after atomic.Int32
+	var wg sync.WaitGroup
+	for i := 0; i < parties; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			before.Add(1)
+			b.Await()
+			// By the time anyone passes, all must have arrived.
+			if before.Load() != parties {
+				t.Errorf("released with only %d arrived", before.Load())
+			}
+			after.Add(1)
+		}()
+	}
+	wg.Wait()
+	if after.Load() != parties {
+		t.Fatalf("only %d passed", after.Load())
+	}
+}
+
+func TestBarrierCyclic(t *testing.T) {
+	const parties, rounds = 3, 5
+	b := NewBarrier(parties)
+	var wg sync.WaitGroup
+	gens := make([][]int, parties)
+	for i := 0; i < parties; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				g, _ := b.Await()
+				gens[i] = append(gens[i], g)
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < parties; i++ {
+		for r := 0; r < rounds; r++ {
+			if gens[i][r] != r {
+				t.Fatalf("party %d saw generation %d at round %d", i, gens[i][r], r)
+			}
+		}
+	}
+}
+
+func TestBarrierSerialExactlyOne(t *testing.T) {
+	const parties = 5
+	b := NewBarrier(parties)
+	var serials atomic.Int32
+	var wg sync.WaitGroup
+	for i := 0; i < parties; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, serial := b.Await(); serial {
+				serials.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if serials.Load() != 1 {
+		t.Fatalf("%d serial parties, want 1", serials.Load())
+	}
+}
+
+func TestBarrierSingleParty(t *testing.T) {
+	b := NewBarrier(1)
+	for r := 0; r < 3; r++ {
+		g, serial := b.Await()
+		if g != r || !serial {
+			t.Fatalf("round %d: gen=%d serial=%v", r, g, serial)
+		}
+	}
+	if NewBarrier(0).Parties() != 1 {
+		t.Error("parties clamp failed")
+	}
+}
+
+func TestBarrierAbortWakesWaiters(t *testing.T) {
+	b := NewBarrier(3)
+	panics := make(chan any, 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			defer func() { panics <- recover() }()
+			b.Await() // the third party never arrives
+		}()
+	}
+	time.Sleep(5 * time.Millisecond)
+	b.Abort()
+	for i := 0; i < 2; i++ {
+		select {
+		case v := <-panics:
+			if v != ErrBarrierAborted {
+				t.Fatalf("waiter panicked with %v", v)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("abort did not wake waiter")
+		}
+	}
+	// Later callers fail immediately too.
+	defer func() {
+		if recover() != ErrBarrierAborted {
+			t.Fatal("post-abort Await did not panic")
+		}
+	}()
+	b.Await()
+}
+
+func TestStaticChunksCoverage(t *testing.T) {
+	f := func(nRaw, pRaw uint8) bool {
+		n, p := int(nRaw), int(pRaw%32)+1
+		chunks := StaticChunks(n, p)
+		covered := 0
+		prevHi := 0
+		for _, c := range chunks {
+			if c.Lo != prevHi || c.Hi < c.Lo {
+				return false
+			}
+			covered += c.Len()
+			prevHi = c.Hi
+		}
+		if n == 0 {
+			return len(chunks) == 0
+		}
+		// Sizes differ by at most one.
+		if len(chunks) > 0 {
+			min, max := chunks[0].Len(), chunks[0].Len()
+			for _, c := range chunks {
+				if c.Len() < min {
+					min = c.Len()
+				}
+				if c.Len() > max {
+					max = c.Len()
+				}
+			}
+			if max-min > 1 {
+				return false
+			}
+		}
+		return covered == n && prevHi == n && len(chunks) <= p
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBlockChunksCoverage(t *testing.T) {
+	f := func(nRaw, cRaw uint8) bool {
+		n, chunk := int(nRaw), int(cRaw%16)+1
+		chunks := BlockChunks(n, chunk)
+		covered, prevHi := 0, 0
+		for i, c := range chunks {
+			if c.Lo != prevHi {
+				return false
+			}
+			if c.Len() > chunk {
+				return false
+			}
+			if c.Len() < chunk && i != len(chunks)-1 {
+				return false // only the last chunk may be short
+			}
+			covered += c.Len()
+			prevHi = c.Hi
+		}
+		return covered == n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChunksDegenerate(t *testing.T) {
+	if StaticChunks(-1, 4) != nil || StaticChunks(4, 0) != nil {
+		t.Error("degenerate static chunks not nil")
+	}
+	if BlockChunks(0, 4) != nil || BlockChunks(4, 0) != nil {
+		t.Error("degenerate block chunks not nil")
+	}
+	cs := StaticChunks(2, 8)
+	if len(cs) != 2 {
+		t.Errorf("n<p gave %d chunks", len(cs))
+	}
+}
+
+func BenchmarkPoolSubmit(b *testing.B) {
+	p := NewPool(4)
+	defer p.Shutdown()
+	var wg sync.WaitGroup
+	wg.Add(b.N)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Submit(wg.Done)
+	}
+	wg.Wait()
+}
+
+func BenchmarkBarrier(b *testing.B) {
+	bar := NewBarrier(1)
+	for i := 0; i < b.N; i++ {
+		bar.Await()
+	}
+}
+
+func BenchmarkStaticChunks(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		StaticChunks(100000, 16)
+	}
+}

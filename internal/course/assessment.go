@@ -1,0 +1,113 @@
+package course
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Component is one assessed component of the course.
+type Component struct {
+	Name       string
+	Weight     int  // percent of the final grade
+	Individual bool // assessed per student rather than per group
+}
+
+// AssessmentScheme returns the §III-C weighting: Test 1 25%, group seminar
+// 20%, Test 2 10%, project implementation 25%, group report 20%. Only 25%
+// (Test 1) targets individual understanding of the lecture material.
+func AssessmentScheme() []Component {
+	return []Component{
+		{Name: "Test 1 (week 6)", Weight: 25, Individual: true},
+		{Name: "Group seminar (weeks 7-10)", Weight: 20, Individual: false},
+		{Name: "Test 2 (week 11)", Weight: 10, Individual: true},
+		{Name: "Project implementation", Weight: 25, Individual: false},
+		{Name: "Project report", Weight: 20, Individual: false},
+	}
+}
+
+// ValidateScheme checks the weights sum to 100.
+func ValidateScheme(cs []Component) error {
+	sum := 0
+	for _, c := range cs {
+		if c.Weight < 0 {
+			return fmt.Errorf("course: component %q has negative weight", c.Name)
+		}
+		sum += c.Weight
+	}
+	if sum != 100 {
+		return fmt.Errorf("course: weights sum to %d, want 100", sum)
+	}
+	return nil
+}
+
+// FinalGrade combines per-component marks (each 0-100) using the scheme.
+// Missing components score zero.
+func FinalGrade(cs []Component, marks map[string]float64) float64 {
+	total := 0.0
+	for _, c := range cs {
+		total += marks[c.Name] * float64(c.Weight) / 100
+	}
+	return total
+}
+
+// CommitLog models the subversion history the instructors used to gauge
+// individual member contributions (§III-C, §IV-A).
+type CommitLog struct {
+	// CommitsByMember maps member name to commit count.
+	CommitsByMember map[string]int
+}
+
+// ErrEmptyLog is returned when a contribution analysis has no commits.
+var ErrEmptyLog = errors.New("course: empty commit log")
+
+// Shares returns each member's fraction of the group's commits, sorted by
+// descending share (name ascending as a tiebreak).
+func (l CommitLog) Shares() ([]MemberShare, error) {
+	total := 0
+	for _, c := range l.CommitsByMember {
+		if c < 0 {
+			return nil, fmt.Errorf("course: negative commit count")
+		}
+		total += c
+	}
+	if total == 0 {
+		return nil, ErrEmptyLog
+	}
+	out := make([]MemberShare, 0, len(l.CommitsByMember))
+	for m, c := range l.CommitsByMember {
+		out = append(out, MemberShare{Member: m, Share: float64(c) / float64(total)})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Share != out[j].Share {
+			return out[i].Share > out[j].Share
+		}
+		return out[i].Member < out[j].Member
+	})
+	return out, nil
+}
+
+// MemberShare is one member's contribution fraction.
+type MemberShare struct {
+	Member string
+	Share  float64
+}
+
+// Balanced reports whether contributions are balanced within tolerance:
+// every member's share is within tol of the equal share 1/n. The paper
+// notes that "in most cases, students within a team were awarded equal
+// marks"; this is the check that justifies it.
+func (l CommitLog) Balanced(tol float64) (bool, error) {
+	shares, err := l.Shares()
+	if err != nil {
+		return false, err
+	}
+	equal := 1 / float64(len(shares))
+	for _, s := range shares {
+		if math.Abs(s.Share-equal) > tol {
+			return false, nil
+		}
+	}
+	return true, nil
+}

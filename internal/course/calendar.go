@@ -1,0 +1,94 @@
+package course
+
+// WeekKind is the activity code used in Figure 2's second column.
+type WeekKind int
+
+// The Figure 2 codes: instructor-led teaching (IT), assessment (A),
+// project work (P), and student-led teaching (ST).
+const (
+	InstructorTeaching WeekKind = iota // IT
+	Assessment                         // A
+	ProjectWork                        // P
+	StudentTeaching                    // ST
+	StudyBreak                         // the mid-semester break
+)
+
+// Code returns the Figure 2 abbreviation.
+func (k WeekKind) Code() string {
+	switch k {
+	case InstructorTeaching:
+		return "IT"
+	case Assessment:
+		return "A"
+	case ProjectWork:
+		return "P"
+	case StudentTeaching:
+		return "ST"
+	case StudyBreak:
+		return "--"
+	default:
+		return "?"
+	}
+}
+
+// Week is one row of the course calendar.
+type Week struct {
+	Number int // teaching week 1..12; 0 for break rows
+	Kind   WeekKind
+	Detail string
+}
+
+// Calendar returns the SoftEng 751 semester structure of Figure 2 and
+// §III-A: 6 teaching weeks, a 2-week study break, then 6 more teaching
+// weeks. Weeks 1-5 teach the shared-memory essentials; week 6 holds
+// Test 1 and the project-topic discussion; weeks 7-10 are student
+// seminars; week 11 holds Test 2; week 12 is project time, with the
+// implementation and report due in the final week.
+func Calendar() []Week {
+	weeks := []Week{
+		{1, InstructorTeaching, "shared-memory parallel programming essentials"},
+		{2, InstructorTeaching, "shared-memory parallel programming essentials"},
+		{3, InstructorTeaching, "shared-memory parallel programming essentials"},
+		{4, InstructorTeaching, "shared-memory parallel programming essentials"},
+		{5, InstructorTeaching, "shared-memory parallel programming essentials"},
+		{6, Assessment, "Test 1 (25%); project topics discussed and allocated"},
+		{0, StudyBreak, "mid-semester study break (week 1 of 2)"},
+		{0, StudyBreak, "mid-semester study break (week 2 of 2)"},
+		{7, StudentTeaching, "group seminars (2 x 20+5 min per lecture slot)"},
+		{8, StudentTeaching, "group seminars"},
+		{9, StudentTeaching, "group seminars"},
+		{10, StudentTeaching, "group seminars"},
+		{11, Assessment, "Test 2 (10%) over all seminar content"},
+		{12, ProjectWork, "project implementation (25%) and report (20%) due"},
+	}
+	return weeks
+}
+
+// TeachingWeeks counts non-break weeks (must be 12 at Auckland).
+func TeachingWeeks(weeks []Week) int {
+	n := 0
+	for _, w := range weeks {
+		if w.Kind != StudyBreak {
+			n++
+		}
+	}
+	return n
+}
+
+// DevelopmentWeeks returns the project development span the paper states
+// students had (§III-D: "8 weeks of development time"): from topic
+// allocation in week 6 through the final week, including the break.
+func DevelopmentWeeks(weeks []Week) int {
+	n := 0
+	seenAlloc := false
+	for _, w := range weeks {
+		if w.Number == 6 {
+			seenAlloc = true
+			continue // allocation happens at the end of week 6
+		}
+		if seenAlloc {
+			n++
+		}
+	}
+	return n
+}

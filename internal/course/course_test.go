@@ -1,0 +1,409 @@
+package course
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// ---- Nexus (Figure 1) ----
+
+func TestClassifyQuadrants(t *testing.T) {
+	cases := []struct {
+		e    Emphasis
+		r    Role
+		want Quadrant
+	}{
+		{EmphasisContent, RoleAudience, ResearchLed},
+		{EmphasisProcess, RoleAudience, ResearchOriented},
+		{EmphasisContent, RoleParticipant, ResearchTutored},
+		{EmphasisProcess, RoleParticipant, ResearchBased},
+	}
+	for _, c := range cases {
+		if got := Classify(c.e, c.r); got != c.want {
+			t.Errorf("Classify(%v,%v) = %v, want %v", c.e, c.r, got, c.want)
+		}
+	}
+}
+
+func TestSoftEng751CoversThreeQuadrants(t *testing.T) {
+	// §III-E: research-led, research-based and research-tutored are all
+	// present; research-oriented is the one deliberately missing.
+	cov := NexusCoverage(SoftEng751Activities())
+	if cov[ResearchLed] == 0 || cov[ResearchBased] == 0 || cov[ResearchTutored] == 0 {
+		t.Fatalf("coverage = %v, want three quadrants covered", cov)
+	}
+	if cov[ResearchOriented] != 0 {
+		t.Fatalf("research-oriented should be absent, got %d", cov[ResearchOriented])
+	}
+}
+
+func TestNexusTableComplete(t *testing.T) {
+	acts := SoftEng751Activities()
+	rows := NexusTable(acts)
+	if len(rows) != len(acts) {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for i, r := range rows {
+		if r.Activity != acts[i].Name {
+			t.Errorf("row %d mislabeled", i)
+		}
+	}
+}
+
+func TestQuadrantStrings(t *testing.T) {
+	for q, want := range map[Quadrant]string{
+		ResearchLed: "research-led", ResearchOriented: "research-oriented",
+		ResearchTutored: "research-tutored", ResearchBased: "research-based",
+		Quadrant(9): "unknown",
+	} {
+		if q.String() != want {
+			t.Errorf("%d.String() = %q", q, q.String())
+		}
+	}
+}
+
+// ---- Calendar (Figure 2) ----
+
+func TestCalendarStructure(t *testing.T) {
+	weeks := Calendar()
+	if got := TeachingWeeks(weeks); got != 12 {
+		t.Fatalf("teaching weeks = %d, want 12", got)
+	}
+	breaks := 0
+	for _, w := range weeks {
+		if w.Kind == StudyBreak {
+			breaks++
+		}
+	}
+	if breaks != 2 {
+		t.Fatalf("break weeks = %d, want 2", breaks)
+	}
+}
+
+func TestCalendarPhases(t *testing.T) {
+	weeks := Calendar()
+	kinds := map[int]WeekKind{}
+	for _, w := range weeks {
+		if w.Number > 0 {
+			kinds[w.Number] = w.Kind
+		}
+	}
+	for wk := 1; wk <= 5; wk++ {
+		if kinds[wk] != InstructorTeaching {
+			t.Errorf("week %d = %v, want IT", wk, kinds[wk])
+		}
+	}
+	if kinds[6] != Assessment {
+		t.Errorf("week 6 = %v, want A", kinds[6])
+	}
+	for wk := 7; wk <= 10; wk++ {
+		if kinds[wk] != StudentTeaching {
+			t.Errorf("week %d = %v, want ST", wk, kinds[wk])
+		}
+	}
+	if kinds[11] != Assessment {
+		t.Errorf("week 11 = %v, want A", kinds[11])
+	}
+	if kinds[12] != ProjectWork {
+		t.Errorf("week 12 = %v, want P", kinds[12])
+	}
+}
+
+func TestDevelopmentWeeksIsEight(t *testing.T) {
+	// §III-D: "students will have 8 weeks of development time".
+	if got := DevelopmentWeeks(Calendar()); got != 8 {
+		t.Fatalf("development weeks = %d, want 8", got)
+	}
+}
+
+func TestWeekKindCodes(t *testing.T) {
+	for k, want := range map[WeekKind]string{
+		InstructorTeaching: "IT", Assessment: "A", ProjectWork: "P",
+		StudentTeaching: "ST", StudyBreak: "--", WeekKind(9): "?",
+	} {
+		if k.Code() != want {
+			t.Errorf("%d.Code() = %q", k, k.Code())
+		}
+	}
+}
+
+// ---- Assessment (§III-C) ----
+
+func TestAssessmentSchemeSumsTo100(t *testing.T) {
+	if err := ValidateScheme(AssessmentScheme()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAssessmentIndividualShareIs35(t *testing.T) {
+	// The paper stresses only 25% targets individual understanding of
+	// lecture material (Test 1); Test 2 adds 10% individual.
+	indiv := 0
+	for _, c := range AssessmentScheme() {
+		if c.Individual {
+			indiv += c.Weight
+		}
+	}
+	if indiv != 35 {
+		t.Fatalf("individual weight = %d, want 35", indiv)
+	}
+}
+
+func TestValidateSchemeRejectsBadWeights(t *testing.T) {
+	if err := ValidateScheme([]Component{{Name: "x", Weight: 50}}); err == nil {
+		t.Error("sum != 100 accepted")
+	}
+	if err := ValidateScheme([]Component{{Name: "x", Weight: -5}, {Name: "y", Weight: 105}}); err == nil {
+		t.Error("negative weight accepted")
+	}
+}
+
+func TestFinalGrade(t *testing.T) {
+	scheme := AssessmentScheme()
+	marks := map[string]float64{}
+	for _, c := range scheme {
+		marks[c.Name] = 80
+	}
+	if g := FinalGrade(scheme, marks); math.Abs(g-80) > 1e-9 {
+		t.Fatalf("uniform 80s grade = %g", g)
+	}
+	if g := FinalGrade(scheme, nil); g != 0 {
+		t.Fatalf("empty marks grade = %g", g)
+	}
+	// Only Test 1 perfect: 25% of the grade.
+	if g := FinalGrade(scheme, map[string]float64{"Test 1 (week 6)": 100}); math.Abs(g-25) > 1e-9 {
+		t.Fatalf("test-1-only grade = %g", g)
+	}
+}
+
+func TestCommitLogShares(t *testing.T) {
+	log := CommitLog{CommitsByMember: map[string]int{"ana": 30, "ben": 30, "cy": 40}}
+	shares, err := log.Shares()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shares[0].Member != "cy" || math.Abs(shares[0].Share-0.4) > 1e-12 {
+		t.Fatalf("top share = %+v", shares[0])
+	}
+	total := 0.0
+	for _, s := range shares {
+		total += s.Share
+	}
+	if math.Abs(total-1) > 1e-12 {
+		t.Fatalf("shares sum = %g", total)
+	}
+}
+
+func TestCommitLogBalance(t *testing.T) {
+	balanced := CommitLog{CommitsByMember: map[string]int{"a": 33, "b": 34, "c": 33}}
+	if ok, _ := balanced.Balanced(0.05); !ok {
+		t.Error("balanced log flagged unbalanced")
+	}
+	skewed := CommitLog{CommitsByMember: map[string]int{"a": 90, "b": 5, "c": 5}}
+	if ok, _ := skewed.Balanced(0.05); ok {
+		t.Error("skewed log passed balance check")
+	}
+	if _, err := (CommitLog{}).Balanced(0.05); err != ErrEmptyLog {
+		t.Errorf("empty log error = %v", err)
+	}
+	if _, err := (CommitLog{CommitsByMember: map[string]int{"a": -1}}).Shares(); err == nil {
+		t.Error("negative commits accepted")
+	}
+}
+
+// ---- Allocation (§III-D) ----
+
+func TestAllocatePaperCohort(t *testing.T) {
+	// ~60 students, groups of 3 => 20 groups on 10 topics x 2 slots:
+	// exactly full, every group placed, exactly two groups per topic.
+	cfg := DefaultPoll()
+	groups := FormGroups(42, 60, 3, cfg)
+	if len(groups) != 20 {
+		t.Fatalf("groups = %d", len(groups))
+	}
+	a := Allocate(cfg, groups)
+	if len(a.Unplaced) != 0 {
+		t.Fatalf("unplaced groups: %v", a.Unplaced)
+	}
+	for topic, gs := range a.GroupsOn {
+		if len(gs) != 2 {
+			t.Fatalf("topic %d has %d groups, want 2", topic, len(gs))
+		}
+	}
+	if len(a.GroupsOn) != 10 {
+		t.Fatalf("topics used = %d", len(a.GroupsOn))
+	}
+}
+
+func TestAllocateCapacityNeverExceeded(t *testing.T) {
+	f := func(seed uint64, nRaw, topicsRaw, capRaw uint8) bool {
+		topics := int(topicsRaw%8) + 1
+		capPer := int(capRaw%3) + 1
+		cfg := PollConfig{Topics: topics, GroupsPerTopic: capPer}
+		n := int(nRaw % 40)
+		groups := FormGroups(seed, n*3, 3, cfg)
+		a := Allocate(cfg, groups)
+		for _, gs := range a.GroupsOn {
+			if len(gs) > capPer {
+				return false
+			}
+		}
+		// Everyone is either placed or unplaced, never both/neither.
+		for _, g := range groups {
+			_, placed := a.TopicOf[g.ID]
+			un := false
+			for _, u := range a.Unplaced {
+				if u == g.ID {
+					un = true
+				}
+			}
+			if placed == un {
+				return false
+			}
+		}
+		// With complete preference lists, unplaced only when over capacity.
+		if len(groups) <= cfg.Capacity() && len(a.Unplaced) > 0 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllocateFirstInFirstServed(t *testing.T) {
+	cfg := PollConfig{Topics: 2, GroupsPerTopic: 1}
+	groups := []Group{
+		{ID: 0, Arrival: 5, Prefs: []int{0, 1}},
+		{ID: 1, Arrival: 1, Prefs: []int{0, 1}}, // earlier arrival
+	}
+	a := Allocate(cfg, groups)
+	if a.TopicOf[1] != 0 {
+		t.Fatalf("earlier group lost its first choice: %+v", a)
+	}
+	if a.TopicOf[0] != 1 {
+		t.Fatalf("later group should get second choice: %+v", a)
+	}
+}
+
+func TestAllocateRespectsPreferenceOrder(t *testing.T) {
+	cfg := PollConfig{Topics: 3, GroupsPerTopic: 2}
+	groups := []Group{{ID: 7, Arrival: 0, Prefs: []int{2, 0, 1}}}
+	a := Allocate(cfg, groups)
+	if a.TopicOf[7] != 2 {
+		t.Fatalf("group got %d, wanted first preference 2", a.TopicOf[7])
+	}
+}
+
+func TestAllocateIgnoresInvalidPrefs(t *testing.T) {
+	cfg := PollConfig{Topics: 2, GroupsPerTopic: 1}
+	groups := []Group{{ID: 0, Arrival: 0, Prefs: []int{-1, 99, 1}}}
+	a := Allocate(cfg, groups)
+	if a.TopicOf[0] != 1 {
+		t.Fatalf("invalid preferences not skipped: %+v", a)
+	}
+}
+
+func TestSatisfactionPerfectWhenUncontended(t *testing.T) {
+	cfg := PollConfig{Topics: 4, GroupsPerTopic: 2}
+	groups := []Group{
+		{ID: 0, Arrival: 0, Prefs: []int{0, 1, 2, 3}},
+		{ID: 1, Arrival: 1, Prefs: []int{1, 0, 2, 3}},
+	}
+	a := Allocate(cfg, groups)
+	if s := Satisfaction(cfg, groups, a); s != 1 {
+		t.Fatalf("satisfaction = %g, want 1", s)
+	}
+	if Satisfaction(cfg, nil, a) != 0 {
+		t.Error("empty satisfaction not 0")
+	}
+}
+
+func TestAllocationString(t *testing.T) {
+	cfg := DefaultPoll()
+	a := Allocate(cfg, FormGroups(1, 60, 3, cfg))
+	if a.String() == "" {
+		t.Error("empty allocation string")
+	}
+}
+
+// ---- Survey (§V-A) ----
+
+func TestExactSurveyReproducesPaperNumbers(t *testing.T) {
+	qs := ExactSurvey(60, PaperTargets())
+	wants := []float64{0.95, 0.95, 0.92}
+	for i, q := range qs {
+		if q.Respondents() != 60 {
+			t.Fatalf("q%d respondents = %d", i, q.Respondents())
+		}
+		if got := q.Agreement(); math.Abs(got-wants[i]) > 0.01 {
+			t.Errorf("q%d agreement = %.3f, want %.2f", i, got, wants[i])
+		}
+	}
+}
+
+func TestSimulatedSurveyNearTargets(t *testing.T) {
+	qs := SimulatedSurvey(7, 500, PaperTargets())
+	wants := []float64{0.95, 0.95, 0.92}
+	for i, q := range qs {
+		if got := q.Agreement(); math.Abs(got-wants[i]) > 0.05 {
+			t.Errorf("q%d simulated agreement = %.3f, want ~%.2f", i, got, wants[i])
+		}
+	}
+}
+
+func TestQuestionAddAndAgreement(t *testing.T) {
+	var q Question
+	q.Add(StronglyAgree)
+	q.Add(Agree)
+	q.Add(Neutral)
+	q.Add(Disagree)
+	if q.Respondents() != 4 {
+		t.Fatalf("respondents = %d", q.Respondents())
+	}
+	if q.Agreement() != 0.5 {
+		t.Fatalf("agreement = %g", q.Agreement())
+	}
+	if (&Question{}).Agreement() != 0 {
+		t.Error("empty agreement not 0")
+	}
+}
+
+func TestQuestionAddPanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid response accepted")
+		}
+	}()
+	var q Question
+	q.Add(LikertResponse(9))
+}
+
+func TestLikertStrings(t *testing.T) {
+	for r, want := range map[LikertResponse]string{
+		StronglyDisagree: "strongly disagree", Disagree: "disagree",
+		Neutral: "neutral", Agree: "agree", StronglyAgree: "strongly agree",
+		LikertResponse(9): "invalid",
+	} {
+		if r.String() != want {
+			t.Errorf("%d.String() = %q", r, r.String())
+		}
+	}
+}
+
+func TestOpenCommentsPresent(t *testing.T) {
+	if len(OpenComments()) != 5 {
+		t.Fatalf("comments = %d, want the 5 quoted in §V-A", len(OpenComments()))
+	}
+}
+
+func BenchmarkAllocate(b *testing.B) {
+	cfg := DefaultPoll()
+	groups := FormGroups(1, 60, 3, cfg)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Allocate(cfg, groups)
+	}
+}

@@ -1,0 +1,145 @@
+// Package course reproduces the course machinery of SoftEng 751 as the
+// paper describes it: the research-teaching nexus model (Figure 1), the
+// 12-week course structure (Figure 2), the assessment scheme (§III-C),
+// the first-in-first-served doodle-poll topic allocation (§III-D), the
+// subversion contribution-log assessment (§III-C, §IV-A), and the
+// summative Likert evaluation (§V-A). These are the paper's actual
+// exhibits; the simulations here regenerate each of them.
+package course
+
+import "fmt"
+
+// Axis positions in Healey's research-teaching nexus (Figure 1). The
+// model has two axes: whether the emphasis is on research CONTENT or on
+// research PROCESSES, and whether students are AUDIENCE or PARTICIPANTS.
+type (
+	// Emphasis is the content/process axis.
+	Emphasis int
+	// Role is the audience/participant axis.
+	Role int
+)
+
+// Axis values.
+const (
+	EmphasisContent Emphasis = iota
+	EmphasisProcess
+)
+
+// Role values.
+const (
+	RoleAudience Role = iota
+	RoleParticipant
+)
+
+// Quadrant is one cell of the nexus model.
+type Quadrant int
+
+// The four quadrants of Figure 1.
+const (
+	// ResearchLed: content emphasis, students as audience — teaching is
+	// structured around subject content informed by staff research.
+	ResearchLed Quadrant = iota
+	// ResearchOriented: process emphasis, students as audience —
+	// teaching the research ethos and methods.
+	ResearchOriented
+	// ResearchTutored: content emphasis, students as participants —
+	// students write about and discuss research.
+	ResearchTutored
+	// ResearchBased: process emphasis, students as participants —
+	// students undertake inquiry-based learning.
+	ResearchBased
+)
+
+// String names the quadrant.
+func (q Quadrant) String() string {
+	switch q {
+	case ResearchLed:
+		return "research-led"
+	case ResearchOriented:
+		return "research-oriented"
+	case ResearchTutored:
+		return "research-tutored"
+	case ResearchBased:
+		return "research-based"
+	default:
+		return "unknown"
+	}
+}
+
+// Classify maps axis positions to the quadrant, the content of Figure 1.
+func Classify(e Emphasis, r Role) Quadrant {
+	switch {
+	case e == EmphasisContent && r == RoleAudience:
+		return ResearchLed
+	case e == EmphasisProcess && r == RoleAudience:
+		return ResearchOriented
+	case e == EmphasisContent && r == RoleParticipant:
+		return ResearchTutored
+	default:
+		return ResearchBased
+	}
+}
+
+// Activity is one course activity placed on the nexus.
+type Activity struct {
+	Name     string
+	Emphasis Emphasis
+	Role     Role
+	// Present records whether SoftEng 751 includes the activity (the
+	// paper notes research-oriented teaching is deliberately absent).
+	Present bool
+}
+
+// Quadrant returns the activity's cell in the model.
+func (a Activity) Quadrant() Quadrant { return Classify(a.Emphasis, a.Role) }
+
+// SoftEng751Activities returns the paper's placement of the course's
+// activities on the nexus (§III-E): lectures and in-class exercises are
+// research-led; the group project is research-based; the presentations,
+// class discussions and report are research-tutored; explicit research-
+// methodology teaching is the one missing quadrant.
+func SoftEng751Activities() []Activity {
+	return []Activity{
+		{Name: "lectures on PARC research", Emphasis: EmphasisContent, Role: RoleAudience, Present: true},
+		{Name: "in-class programming exercises", Emphasis: EmphasisContent, Role: RoleAudience, Present: true},
+		{Name: "group research project", Emphasis: EmphasisProcess, Role: RoleParticipant, Present: true},
+		{Name: "group seminar presentations", Emphasis: EmphasisContent, Role: RoleParticipant, Present: true},
+		{Name: "class discussions", Emphasis: EmphasisContent, Role: RoleParticipant, Present: true},
+		{Name: "group report", Emphasis: EmphasisContent, Role: RoleParticipant, Present: true},
+		{Name: "research methodology teaching", Emphasis: EmphasisProcess, Role: RoleAudience, Present: false},
+	}
+}
+
+// NexusCoverage reports, for each quadrant, how many present activities
+// land there — the "research-infused" claim is that three of the four
+// quadrants are covered, with research-oriented deliberately empty.
+func NexusCoverage(acts []Activity) map[Quadrant]int {
+	cov := map[Quadrant]int{}
+	for _, a := range acts {
+		if a.Present {
+			cov[a.Quadrant()]++
+		}
+	}
+	return cov
+}
+
+// NexusRow is one line of the Figure 1 reproduction table.
+type NexusRow struct {
+	Activity string
+	Quadrant Quadrant
+	Present  bool
+}
+
+// NexusTable renders the classification as rows for the harness.
+func NexusTable(acts []Activity) []NexusRow {
+	rows := make([]NexusRow, len(acts))
+	for i, a := range acts {
+		rows[i] = NexusRow{Activity: a.Name, Quadrant: a.Quadrant(), Present: a.Present}
+	}
+	return rows
+}
+
+// String renders an activity for debugging.
+func (a Activity) String() string {
+	return fmt.Sprintf("%s [%s, present=%v]", a.Name, a.Quadrant(), a.Present)
+}

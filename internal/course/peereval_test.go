@@ -1,0 +1,145 @@
+package course
+
+import (
+	"math"
+	"testing"
+)
+
+func evenEval() PeerEvaluation {
+	return PeerEvaluation{
+		Members: []string{"ana", "ben", "cy"},
+		Ratings: map[string]map[string]float64{
+			"ana": {"ben": 4, "cy": 4},
+			"ben": {"ana": 4, "cy": 4},
+			"cy":  {"ana": 4, "ben": 4},
+		},
+	}
+}
+
+func skewedEval() PeerEvaluation {
+	return PeerEvaluation{
+		Members: []string{"ana", "ben", "cy"},
+		Ratings: map[string]map[string]float64{
+			"ana": {"ben": 2, "cy": 5},
+			"ben": {"ana": 5, "cy": 5},
+			"cy":  {"ana": 5, "ben": 2},
+		},
+	}
+}
+
+func TestValidateAcceptsComplete(t *testing.T) {
+	if err := evenEval().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejectsGaps(t *testing.T) {
+	pe := evenEval()
+	delete(pe.Ratings["ana"], "ben")
+	if pe.Validate() == nil {
+		t.Error("missing rating accepted")
+	}
+	pe2 := evenEval()
+	pe2.Ratings["ana"]["ben"] = 7
+	if pe2.Validate() == nil {
+		t.Error("out-of-scale rating accepted")
+	}
+	pe3 := evenEval()
+	delete(pe3.Ratings, "cy")
+	if pe3.Validate() == nil {
+		t.Error("missing rater accepted")
+	}
+	if (PeerEvaluation{Members: []string{"solo"}}).Validate() == nil {
+		t.Error("single-member group accepted")
+	}
+}
+
+func TestMeanReceived(t *testing.T) {
+	means := skewedEval().MeanReceived()
+	if means["ana"] != 5 {
+		t.Errorf("ana mean = %g", means["ana"])
+	}
+	if means["ben"] != 2 {
+		t.Errorf("ben mean = %g", means["ben"])
+	}
+	if means["cy"] != 5 {
+		t.Errorf("cy mean = %g", means["cy"])
+	}
+}
+
+func TestConsensus(t *testing.T) {
+	if !evenEval().Consensus(0.5) {
+		t.Error("even ratings not consensual")
+	}
+	if skewedEval().Consensus(0.5) {
+		t.Error("skewed ratings reported consensual")
+	}
+}
+
+func TestAdjustedMarksEqualOnConsensus(t *testing.T) {
+	marks := evenEval().AdjustedMarks(85, 0.5)
+	for m, v := range marks {
+		if v != 85 {
+			t.Errorf("%s mark = %g, want 85", m, v)
+		}
+	}
+}
+
+func TestAdjustedMarksScaleOnDisagreement(t *testing.T) {
+	marks := skewedEval().AdjustedMarks(80, 0.5)
+	if marks["ben"] >= marks["ana"] {
+		t.Errorf("low-rated member not below high-rated: %v", marks)
+	}
+	// Clamps: ben's factor 2/4 = 0.5 clamps to 0.8 => 64.
+	if math.Abs(marks["ben"]-64) > 1e-9 {
+		t.Errorf("ben mark = %g, want 64 (clamped)", marks["ben"])
+	}
+	// ana's factor 5/4 = 1.25 clamps to 1.2 => 96.
+	if math.Abs(marks["ana"]-96) > 1e-9 {
+		t.Errorf("ana mark = %g, want 96 (clamped)", marks["ana"])
+	}
+}
+
+func TestAdjustedMarksCapAt100(t *testing.T) {
+	marks := skewedEval().AdjustedMarks(95, 0.5)
+	for m, v := range marks {
+		if v > 100 {
+			t.Errorf("%s mark = %g exceeds 100", m, v)
+		}
+	}
+}
+
+func TestCrossCheckFlagsContradictions(t *testing.T) {
+	// cy is praised by peers (mean 5) but barely committed.
+	log := CommitLog{CommitsByMember: map[string]int{"ana": 45, "ben": 45, "cy": 10}}
+	flagged, err := skewedEval().CrossCheck(log, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, m := range flagged {
+		if m == "cy" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("cy not flagged: %v", flagged)
+	}
+}
+
+func TestCrossCheckCleanGroup(t *testing.T) {
+	log := CommitLog{CommitsByMember: map[string]int{"ana": 33, "ben": 33, "cy": 34}}
+	flagged, err := evenEval().CrossCheck(log, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(flagged) != 0 {
+		t.Errorf("clean group flagged: %v", flagged)
+	}
+}
+
+func TestCrossCheckEmptyLog(t *testing.T) {
+	if _, err := evenEval().CrossCheck(CommitLog{}, 0.3); err == nil {
+		t.Error("empty log accepted")
+	}
+}

@@ -1,0 +1,126 @@
+package course
+
+import (
+	"testing"
+	"testing/quick"
+
+	"parc751/internal/xrand"
+)
+
+func TestSeminarCalendarShape(t *testing.T) {
+	slots := SeminarCalendar(3)
+	// 4 weeks x 3 lectures x 2 halves = 24 slots.
+	if len(slots) != 24 {
+		t.Fatalf("slots = %d", len(slots))
+	}
+	for i, s := range slots {
+		if s.Week < 7 || s.Week > 10 {
+			t.Fatalf("slot %d in week %d", i, s.Week)
+		}
+		if s.Half != i%2 {
+			t.Fatalf("slot %d half = %d", i, s.Half)
+		}
+	}
+	// Chronological order.
+	for i := 1; i < len(slots); i++ {
+		a, b := slots[i-1], slots[i]
+		if b.Week < a.Week || (b.Week == a.Week && b.Lecture < a.Lecture) {
+			t.Fatalf("calendar out of order at %d", i)
+		}
+	}
+	if got := SeminarCalendar(0); len(got) != 8 {
+		t.Fatalf("clamped calendar = %d slots", len(got))
+	}
+}
+
+func TestScheduleTwentyGroups(t *testing.T) {
+	// The paper's cohort: 20 groups over weeks 7-10 with 3 lectures/week
+	// (24 half-slots) — everyone fits.
+	slots := SeminarCalendar(3)
+	reqs := make([]SlotRequest, 20)
+	for i := range reqs {
+		reqs[i] = SlotRequest{GroupID: i, Arrival: i, Prefs: AllSlotsPrefs(len(slots))}
+	}
+	sched := ScheduleSeminars(slots, reqs)
+	if len(sched.Unassigned) != 0 {
+		t.Fatalf("unassigned: %v", sched.Unassigned)
+	}
+	if len(sched.SlotOf) != 20 {
+		t.Fatalf("assigned = %d", len(sched.SlotOf))
+	}
+	if sched.WeeksUsed() < 3 {
+		t.Fatalf("weeks used = %d; presentations should spread", sched.WeeksUsed())
+	}
+	// First-in-first-served with chronological preferences: earlier
+	// arrivals present earlier.
+	order := sched.PresentationOrder()
+	for i, g := range order {
+		if g != i {
+			t.Fatalf("presentation order = %v (FIFO broken)", order)
+		}
+	}
+}
+
+func TestScheduleNoDoubleBooking(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		r := xrand.New(seed)
+		slots := SeminarCalendar(3)
+		n := int(nRaw % 30)
+		reqs := make([]SlotRequest, n)
+		for i := range reqs {
+			// Random subsets of acceptable slots.
+			var prefs []int
+			for s := range slots {
+				if r.Float64() < 0.5 {
+					prefs = append(prefs, s)
+				}
+			}
+			r.Shuffle(len(prefs), func(a, b int) { prefs[a], prefs[b] = prefs[b], prefs[a] })
+			reqs[i] = SlotRequest{GroupID: i, Arrival: r.Intn(1000), Prefs: prefs}
+		}
+		sched := ScheduleSeminars(slots, reqs)
+		used := map[int]bool{}
+		for _, idx := range sched.SlotOf {
+			if used[idx] {
+				return false // double booking
+			}
+			used[idx] = true
+		}
+		// Everyone is either assigned or unassigned, exactly once.
+		return len(sched.SlotOf)+len(sched.Unassigned) == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScheduleFIFOPriority(t *testing.T) {
+	slots := SeminarCalendar(1) // 8 slots
+	reqs := []SlotRequest{
+		{GroupID: 0, Arrival: 10, Prefs: []int{0}},
+		{GroupID: 1, Arrival: 1, Prefs: []int{0}}, // earlier, same want
+	}
+	sched := ScheduleSeminars(slots, reqs)
+	if sched.SlotOf[1] != 0 {
+		t.Fatalf("earlier group lost the slot: %v", sched.SlotOf)
+	}
+	if len(sched.Unassigned) != 1 || sched.Unassigned[0] != 0 {
+		t.Fatalf("unassigned = %v", sched.Unassigned)
+	}
+}
+
+func TestScheduleInvalidPrefsSkipped(t *testing.T) {
+	slots := SeminarCalendar(1)
+	reqs := []SlotRequest{{GroupID: 5, Arrival: 0, Prefs: []int{-3, 99, 2}}}
+	sched := ScheduleSeminars(slots, reqs)
+	if sched.SlotOf[5] != 2 {
+		t.Fatalf("invalid prefs not skipped: %v", sched.SlotOf)
+	}
+}
+
+func TestSlotString(t *testing.T) {
+	s := SeminarSlot{Week: 8, Lecture: 1, Half: 0}
+	if s.String() == "" {
+		t.Fatal("empty slot string")
+	}
+}

@@ -1,0 +1,148 @@
+package course
+
+import (
+	"fmt"
+
+	"parc751/internal/xrand"
+)
+
+// LikertResponse is one answer on the five-point scale used by the
+// end-of-course summative evaluation (§V-A).
+type LikertResponse int
+
+// The five points of the scale.
+const (
+	StronglyDisagree LikertResponse = iota
+	Disagree
+	Neutral
+	Agree
+	StronglyAgree
+)
+
+// String names the response.
+func (r LikertResponse) String() string {
+	switch r {
+	case StronglyDisagree:
+		return "strongly disagree"
+	case Disagree:
+		return "disagree"
+	case Neutral:
+		return "neutral"
+	case Agree:
+		return "agree"
+	case StronglyAgree:
+		return "strongly agree"
+	default:
+		return "invalid"
+	}
+}
+
+// Question is one survey item with its distribution over the scale.
+type Question struct {
+	Text   string
+	Counts [5]int
+}
+
+// Respondents returns the total responses to the question.
+func (q *Question) Respondents() int {
+	n := 0
+	for _, c := range q.Counts {
+		n += c
+	}
+	return n
+}
+
+// Agreement returns the fraction of respondents who agreed or strongly
+// agreed — the statistic the paper reports (95%, 95%, 92%).
+func (q *Question) Agreement() float64 {
+	n := q.Respondents()
+	if n == 0 {
+		return 0
+	}
+	return float64(q.Counts[Agree]+q.Counts[StronglyAgree]) / float64(n)
+}
+
+// Add records one response.
+func (q *Question) Add(r LikertResponse) {
+	if r < StronglyDisagree || r > StronglyAgree {
+		panic(fmt.Sprintf("course: invalid Likert response %d", r))
+	}
+	q.Counts[r]++
+}
+
+// PaperTarget pairs a survey question with the agreement the paper
+// reports for it.
+type PaperTarget struct {
+	Text      string
+	Agreement float64 // reported fraction (SA+A)
+}
+
+// PaperTargets returns the three quantitative rows of §V-A.
+func PaperTargets() []PaperTarget {
+	return []PaperTarget{
+		{"The objectives of the lectures were clearly explained", 0.95},
+		{"The lecturer stimulated my engagement in the learning process", 0.95},
+		{"The class discussions were effective in helping me learn", 0.92},
+	}
+}
+
+// ExactSurvey constructs each question's response counts to match the
+// paper's reported agreement exactly for n respondents (agreeing
+// responses split 60/40 between agree and strongly agree; the remainder
+// split between neutral and disagree). This is the deterministic
+// reproduction of the §V-A table.
+func ExactSurvey(n int, targets []PaperTarget) []Question {
+	out := make([]Question, len(targets))
+	for i, t := range targets {
+		agreeTotal := int(t.Agreement*float64(n) + 0.5)
+		agree := agreeTotal * 6 / 10
+		sa := agreeTotal - agree
+		rest := n - agreeTotal
+		neutral := rest/2 + rest%2
+		disagree := rest / 2
+		out[i] = Question{Text: t.Text}
+		out[i].Counts[Agree] = agree
+		out[i].Counts[StronglyAgree] = sa
+		out[i].Counts[Neutral] = neutral
+		out[i].Counts[Disagree] = disagree
+	}
+	return out
+}
+
+// SimulatedSurvey draws n student responses per question from a
+// distribution whose expected agreement matches the target — the
+// stochastic cohort model (measured agreement lands near, not exactly on,
+// the paper's number; EXPERIMENTS.md records both).
+func SimulatedSurvey(seed uint64, n int, targets []PaperTarget) []Question {
+	r := xrand.New(seed)
+	out := make([]Question, len(targets))
+	for i, t := range targets {
+		out[i] = Question{Text: t.Text}
+		for s := 0; s < n; s++ {
+			u := r.Float64()
+			switch {
+			case u < t.Agreement*0.4:
+				out[i].Add(StronglyAgree)
+			case u < t.Agreement:
+				out[i].Add(Agree)
+			case u < t.Agreement+(1-t.Agreement)*0.7:
+				out[i].Add(Neutral)
+			default:
+				out[i].Add(Disagree)
+			}
+		}
+	}
+	return out
+}
+
+// OpenComments returns the §V-A free-text comments quoted in the paper,
+// used by the course simulator's report output.
+func OpenComments() []string {
+	return []string{
+		"The presentations were good practice and watching them was informative",
+		"Keep up the interaction with all of the groups",
+		"The project that was part of the course was very helpful",
+		"This course was full of project work. It helped me to learn and explore the concepts in Java. It also helped me to develop my presentation skills.",
+		"Individual meeting time can be extended so that more research oriented discussion can be done. I personally feel this course is very good to perform research hence more time should be devoted by the lecturer during individual meeting.",
+	}
+}

@@ -1,0 +1,103 @@
+package course
+
+import (
+	"fmt"
+	"sort"
+)
+
+// The §III-D topic pipeline: the PARC lab "maintains a wish-list of
+// 'todo' items that have been identified as suitable nugget-sized
+// projects"; topics are collected in a shared document during the year
+// (proposed by instructors and graduate students, or recycled from
+// previous years) and reviewed at the start of the course to pick the
+// top ten. Suitability weighs three stated factors: the time-frame
+// (8 development weeks at one-quarter workload), divisibility among the
+// group's members (needed for assessment), and being an "independent
+// nugget" complementary to the lab's work but not requiring students to
+// delve into the larger projects first.
+
+// Topic is one wish-list entry.
+type Topic struct {
+	Title    string
+	Proposer string // "instructor", "postgrad", or a name
+	Year     int    // year first proposed (recycling is allowed)
+	// The §III-D suitability factors, each scored 1-5 by the reviewers.
+	TimeframeFit  int // completable in 8 weeks at quarter load
+	Divisibility  int // splits evenly across 3 members
+	Independence  int // startable without absorbing the lab's big projects
+	LabInterest   int // how much PARC wants the outcome
+	AndroidOption bool
+}
+
+// Validate checks the scores are on the 1-5 scale.
+func (t Topic) Validate() error {
+	for name, v := range map[string]int{
+		"timeframe": t.TimeframeFit, "divisibility": t.Divisibility,
+		"independence": t.Independence, "interest": t.LabInterest,
+	} {
+		if v < 1 || v > 5 {
+			return fmt.Errorf("course: topic %q %s score %d outside [1,5]", t.Title, name, v)
+		}
+	}
+	return nil
+}
+
+// Suitability is the review score: the three §III-D feasibility factors
+// weighted equally, with lab interest as the tiebreaker weight.
+func (t Topic) Suitability() float64 {
+	return float64(t.TimeframeFit+t.Divisibility+t.Independence)*2 + float64(t.LabInterest)
+}
+
+// SelectTopics returns the n most suitable valid topics, ties broken by
+// lab interest then title (deterministic). Invalid topics are skipped.
+func SelectTopics(wishlist []Topic, n int) []Topic {
+	var valid []Topic
+	for _, t := range wishlist {
+		if t.Validate() == nil {
+			valid = append(valid, t)
+		}
+	}
+	sort.Slice(valid, func(i, j int) bool {
+		si, sj := valid[i].Suitability(), valid[j].Suitability()
+		if si != sj {
+			return si > sj
+		}
+		if valid[i].LabInterest != valid[j].LabInterest {
+			return valid[i].LabInterest > valid[j].LabInterest
+		}
+		return valid[i].Title < valid[j].Title
+	})
+	if n > len(valid) {
+		n = len(valid)
+	}
+	return valid[:n]
+}
+
+// Wishlist2013 returns the ten §IV-C sample topics as wish-list entries,
+// scored per their descriptions (all ten were selected in 2013, so all
+// score highly; the Android flags follow the paper's "(also available for
+// Android)" annotations).
+func Wishlist2013() []Topic {
+	return []Topic{
+		{Title: "Thumbnails of images in a folder", Proposer: "instructor", Year: 2013,
+			TimeframeFit: 5, Divisibility: 4, Independence: 5, LabInterest: 4, AndroidOption: true},
+		{Title: "Parallel quicksort", Proposer: "instructor", Year: 2012,
+			TimeframeFit: 5, Divisibility: 4, Independence: 5, LabInterest: 3},
+		{Title: "Parallelisation of simple computational kernels", Proposer: "postgrad", Year: 2013,
+			TimeframeFit: 4, Divisibility: 5, Independence: 4, LabInterest: 4},
+		{Title: "Search for a string in text files of a folder", Proposer: "instructor", Year: 2012,
+			TimeframeFit: 5, Divisibility: 4, Independence: 5, LabInterest: 3, AndroidOption: true},
+		{Title: "Reductions in Pyjama", Proposer: "postgrad", Year: 2013,
+			TimeframeFit: 4, Divisibility: 4, Independence: 3, LabInterest: 5},
+		{Title: "Task-aware libraries for Parallel Task", Proposer: "postgrad", Year: 2013,
+			TimeframeFit: 4, Divisibility: 4, Independence: 3, LabInterest: 5},
+		{Title: "PDF searching", Proposer: "instructor", Year: 2013,
+			TimeframeFit: 4, Divisibility: 4, Independence: 5, LabInterest: 3, AndroidOption: true},
+		{Title: "Understanding and coping with the Java memory model", Proposer: "instructor", Year: 2013,
+			TimeframeFit: 4, Divisibility: 3, Independence: 5, LabInterest: 4},
+		{Title: "Parallel use of collections", Proposer: "instructor", Year: 2012,
+			TimeframeFit: 5, Divisibility: 4, Independence: 5, LabInterest: 3},
+		{Title: "Fast web access through concurrent connections", Proposer: "postgrad", Year: 2013,
+			TimeframeFit: 4, Divisibility: 3, Independence: 5, LabInterest: 4, AndroidOption: true},
+	}
+}

@@ -1,0 +1,102 @@
+package course
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestWishlist2013Valid(t *testing.T) {
+	topics := Wishlist2013()
+	if len(topics) != 10 {
+		t.Fatalf("2013 wish-list has %d topics, want the paper's 10", len(topics))
+	}
+	android := 0
+	for _, tp := range topics {
+		if err := tp.Validate(); err != nil {
+			t.Errorf("topic invalid: %v", err)
+		}
+		if tp.AndroidOption {
+			android++
+		}
+	}
+	// §IV-C marks four topics "(also available for Android)".
+	if android != 4 {
+		t.Errorf("android topics = %d, want 4", android)
+	}
+}
+
+func TestSelectTopicsTopTen(t *testing.T) {
+	wishlist := Wishlist2013()
+	// Add weaker candidates that must not displace the paper's ten.
+	wishlist = append(wishlist,
+		Topic{Title: "Rewrite the lab's whole runtime", Proposer: "postgrad", Year: 2013,
+			TimeframeFit: 1, Divisibility: 2, Independence: 1, LabInterest: 5},
+		Topic{Title: "Port everything to Fortran", Proposer: "instructor", Year: 2011,
+			TimeframeFit: 2, Divisibility: 2, Independence: 2, LabInterest: 1},
+	)
+	top := SelectTopics(wishlist, 10)
+	if len(top) != 10 {
+		t.Fatalf("selected %d", len(top))
+	}
+	for _, tp := range top {
+		if tp.Title == "Rewrite the lab's whole runtime" || tp.Title == "Port everything to Fortran" {
+			t.Errorf("unsuitable topic selected: %s", tp.Title)
+		}
+	}
+	// Descending suitability.
+	for i := 1; i < len(top); i++ {
+		if top[i].Suitability() > top[i-1].Suitability() {
+			t.Fatalf("selection not sorted at %d", i)
+		}
+	}
+}
+
+func TestSelectTopicsSkipsInvalid(t *testing.T) {
+	wishlist := []Topic{
+		{Title: "ok", TimeframeFit: 3, Divisibility: 3, Independence: 3, LabInterest: 3},
+		{Title: "broken", TimeframeFit: 0, Divisibility: 3, Independence: 3, LabInterest: 3},
+	}
+	top := SelectTopics(wishlist, 10)
+	if len(top) != 1 || top[0].Title != "ok" {
+		t.Fatalf("selection = %v", top)
+	}
+}
+
+func TestSelectTopicsDeterministicTies(t *testing.T) {
+	mk := func(title string) Topic {
+		return Topic{Title: title, TimeframeFit: 3, Divisibility: 3, Independence: 3, LabInterest: 3}
+	}
+	a := SelectTopics([]Topic{mk("zeta"), mk("alpha"), mk("mid")}, 3)
+	b := SelectTopics([]Topic{mk("mid"), mk("zeta"), mk("alpha")}, 3)
+	for i := range a {
+		if a[i].Title != b[i].Title {
+			t.Fatalf("tie-break not deterministic: %v vs %v", a, b)
+		}
+	}
+	if a[0].Title != "alpha" {
+		t.Fatalf("ties should order by title: %v", a)
+	}
+}
+
+func TestSuitabilityMonotone(t *testing.T) {
+	f := func(a, b, c, d uint8) bool {
+		base := Topic{TimeframeFit: int(a%5) + 1, Divisibility: int(b%5) + 1,
+			Independence: int(c%5) + 1, LabInterest: int(d%5) + 1}
+		better := base
+		if better.TimeframeFit < 5 {
+			better.TimeframeFit++
+			return better.Suitability() > base.Suitability()
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateBounds(t *testing.T) {
+	bad := Topic{Title: "x", TimeframeFit: 6, Divisibility: 3, Independence: 3, LabInterest: 3}
+	if bad.Validate() == nil {
+		t.Error("score 6 accepted")
+	}
+}

@@ -1,0 +1,189 @@
+package curriculum
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"parc751/internal/machine"
+)
+
+func TestSharedMemoryCoreValid(t *testing.T) {
+	topics := SharedMemoryCore()
+	if err := Validate(topics); err != nil {
+		t.Fatal(err)
+	}
+	if len(topics) < 12 {
+		t.Fatalf("syllabus has only %d topics", len(topics))
+	}
+}
+
+// TestArtifactsExist checks that every claimed runnable artifact is an
+// actual package directory in this repository — the curriculum map must
+// not rot.
+func TestArtifactsExist(t *testing.T) {
+	root := "../.." // internal/curriculum -> repo root
+	for _, topic := range SharedMemoryCore() {
+		dir := filepath.Join(root, topic.Artifact)
+		info, err := os.Stat(dir)
+		if err != nil || !info.IsDir() {
+			t.Errorf("topic %q points at missing artifact %s", topic.Name, topic.Artifact)
+		}
+	}
+}
+
+func TestEveryWeekTeachesSomething(t *testing.T) {
+	plan := WeekPlan(SharedMemoryCore())
+	for w := 1; w <= 5; w++ {
+		if len(plan[w]) == 0 {
+			t.Errorf("week %d teaches nothing", w)
+		}
+	}
+}
+
+func TestApplyShareMajority(t *testing.T) {
+	// §III-E: "There needs to be a focus on doing or building something."
+	if share := ApplyShare(SharedMemoryCore()); share < 0.5 {
+		t.Fatalf("apply share = %.2f; the course is build-focused", share)
+	}
+	if ApplyShare(nil) != 0 {
+		t.Error("empty share not 0")
+	}
+}
+
+func TestValidateRejectsBadSyllabi(t *testing.T) {
+	if Validate([]Topic{{Name: "x", Week: 9, Artifact: "internal/core"}}) == nil {
+		t.Error("week 9 accepted")
+	}
+	if Validate([]Topic{{Name: "x", Week: 2}}) == nil {
+		t.Error("missing artifact accepted")
+	}
+	if Validate([]Topic{
+		{Name: "x", Week: 1, Artifact: "a"},
+		{Name: "x", Week: 2, Artifact: "b"},
+	}) == nil {
+		t.Error("duplicate accepted")
+	}
+}
+
+func TestBloomStrings(t *testing.T) {
+	for b, want := range map[BloomLevel]string{Know: "K", Comprehend: "C", Apply: "A", BloomLevel(9): "?"} {
+		if b.String() != want {
+			t.Errorf("%d.String() = %q", b, b.String())
+		}
+	}
+}
+
+func TestAmdahlKnownValues(t *testing.T) {
+	if got := AmdahlSpeedup(0.5, 2); math.Abs(got-4.0/3.0) > 1e-12 {
+		t.Errorf("S(0.5, 2) = %g", got)
+	}
+	if got := AmdahlSpeedup(1, 8); got != 8 {
+		t.Errorf("fully parallel S(1,8) = %g", got)
+	}
+	if got := AmdahlSpeedup(0, 64); got != 1 {
+		t.Errorf("fully serial S(0,64) = %g", got)
+	}
+	if AmdahlSpeedup(0.5, 0) != 0 || AmdahlSpeedup(-1, 4) != 0 {
+		t.Error("invalid inputs not rejected")
+	}
+	if got := AmdahlLimit(0.9); math.Abs(got-10) > 1e-12 {
+		t.Errorf("limit(0.9) = %g", got)
+	}
+	if !math.IsInf(AmdahlLimit(1), 1) {
+		t.Error("limit(1) not +Inf")
+	}
+}
+
+func TestAmdahlProperties(t *testing.T) {
+	f := func(fRaw, pRaw uint8) bool {
+		frac := float64(fRaw) / 255
+		p := int(pRaw%64) + 1
+		s := AmdahlSpeedup(frac, p)
+		// Bounded by p and by the serial limit; at least 1.
+		return s >= 1-1e-12 && s <= float64(p)+1e-9 && s <= AmdahlLimit(frac)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGustafson(t *testing.T) {
+	if got := GustafsonSpeedup(0, 16); got != 16 {
+		t.Errorf("scaled S(0,16) = %g", got)
+	}
+	if got := GustafsonSpeedup(1, 16); got != 1 {
+		t.Errorf("all-serial scaled S = %g", got)
+	}
+	if got := GustafsonSpeedup(0.25, 4); math.Abs(got-3.25) > 1e-12 {
+		t.Errorf("S(0.25,4) = %g", got)
+	}
+}
+
+func TestKarpFlattRecoversSerialFraction(t *testing.T) {
+	// Feed Karp-Flatt a speedup produced by Amdahl's law: it must return
+	// the serial fraction.
+	for _, serial := range []float64{0.05, 0.2, 0.5} {
+		for _, p := range []int{2, 8, 64} {
+			s := AmdahlSpeedup(1-serial, p)
+			if got := KarpFlatt(s, p); math.Abs(got-serial) > 1e-9 {
+				t.Errorf("KarpFlatt(S(%g), %d) = %g", serial, p, got)
+			}
+		}
+	}
+	if KarpFlatt(2, 1) != 0 || KarpFlatt(0, 8) != 0 {
+		t.Error("degenerate inputs not handled")
+	}
+}
+
+// TestSimulatorObeysAmdahl is the cross-validation the lectures would run
+// live: a workload with serial fraction (1-f) simulated on p processors
+// must track Amdahl's prediction. The serial part is modelled as a chain
+// of dependent tasks; the parallel part as independent tasks.
+func TestSimulatorObeysAmdahl(t *testing.T) {
+	const totalWork = 1 << 20
+	for _, frac := range []float64{0.5, 0.9, 0.99} {
+		for _, p := range []int{2, 8, 32} {
+			serialWork := uint64(float64(totalWork) * (1 - frac))
+			parallelWork := uint64(totalWork) - serialWork
+
+			run := func(procs int) uint64 {
+				m := machine.New(machine.Config{Name: "amdahl", Procs: procs, SpeedFactor: 1})
+				// Amdahl's structure: the serial part runs first, alone
+				// on the critical path; only then does the parallel part
+				// fan out.
+				const chunks = 256
+				m.Submit(0, serialWork, func(ctx *machine.Ctx) {
+					for i := 0; i < chunks; i++ {
+						ctx.Spawn(parallelWork/chunks, nil)
+					}
+				})
+				return m.Run().Makespan
+			}
+			seq := run(1)
+			par := run(p)
+			measured := float64(seq) / float64(par)
+			predicted := AmdahlSpeedup(frac, p)
+			// Scheduling residue (the last chunks draining) costs a
+			// little against the ideal; the simulator must track the law
+			// within 10% and never exceed it or p.
+			if measured > float64(p)+1e-9 || measured > predicted*1.01 {
+				t.Errorf("f=%g p=%d: measured %g beats Amdahl %g", frac, p, measured, predicted)
+			}
+			if measured < predicted*0.9 {
+				t.Errorf("f=%g p=%d: measured %.2f, Amdahl predicts %.2f", frac, p, measured, predicted)
+			}
+		}
+	}
+}
+
+func TestArtifactPathsAreRepoRelative(t *testing.T) {
+	for _, topic := range SharedMemoryCore() {
+		if !strings.HasPrefix(topic.Artifact, "internal/") {
+			t.Errorf("artifact %q not repo-relative", topic.Artifact)
+		}
+	}
+}

@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	// Every exhibit from DESIGN.md's per-experiment index must be
+	// registered.
+	want := []string{"F1", "F2", "TASSESS", "EALLOC", "EPROTO", "ECURR", "ELIKERT",
+		"P1", "P2", "P3", "P4", "P5", "P6", "P7", "P8", "P9", "P10"}
+	ids := IDs()
+	have := map[string]bool{}
+	for _, id := range ids {
+		have[id] = true
+	}
+	for _, id := range want {
+		if !have[id] {
+			t.Errorf("experiment %s not registered", id)
+		}
+	}
+	if len(ids) != len(want) {
+		t.Errorf("registry has %d experiments, want %d: %v", len(ids), len(want), ids)
+	}
+}
+
+func TestByID(t *testing.T) {
+	if _, ok := ByID("P2"); !ok {
+		t.Fatal("P2 not found")
+	}
+	if _, ok := ByID("p2"); !ok {
+		t.Fatal("lookup not case-insensitive")
+	}
+	if _, ok := ByID("NOPE"); ok {
+		t.Fatal("bogus ID found")
+	}
+}
+
+func TestResultHelpers(t *testing.T) {
+	r := &Result{ID: "X"}
+	r.ok("a", true)
+	r.ok("b", false)
+	r.metric("m", 1.5)
+	if r.AllPassed() {
+		t.Error("AllPassed with a failure")
+	}
+	failed := r.FailedFindings()
+	if len(failed) != 1 || failed[0] != "b" {
+		t.Errorf("FailedFindings = %v", failed)
+	}
+	if r.Metrics["m"] != 1.5 {
+		t.Error("metric lost")
+	}
+}
+
+// TestAllExperimentsPass runs the full registry at quick scale: every
+// experiment must produce output and every paper-shape finding must hold.
+// This is the repository's acceptance test.
+func TestAllExperimentsPass(t *testing.T) {
+	cfg := QuickConfig()
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			res := e.Run(cfg)
+			if res.Output == "" {
+				t.Fatal("no output")
+			}
+			if !strings.Contains(res.Output, res.ID) {
+				t.Error("output missing experiment id banner")
+			}
+			if len(res.Findings) == 0 {
+				t.Fatal("experiment reported no findings")
+			}
+			for name, ok := range res.Findings {
+				if !ok {
+					t.Errorf("finding failed: %s", name)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkExperimentP2(b *testing.B) {
+	e, _ := ByID("P2")
+	cfg := QuickConfig()
+	for i := 0; i < b.N; i++ {
+		e.Run(cfg)
+	}
+}

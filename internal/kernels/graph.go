@@ -1,0 +1,274 @@
+package kernels
+
+import (
+	"math"
+	"sync/atomic"
+
+	"parc751/internal/pyjama"
+	"parc751/internal/reduction"
+	"parc751/internal/workload"
+)
+
+// BFSSequential returns each vertex's breadth-first level from src, or -1
+// for unreachable vertices.
+func BFSSequential(g *workload.Graph, src int) []int {
+	level := make([]int, g.N)
+	for i := range level {
+		level[i] = -1
+	}
+	level[src] = 0
+	frontier := []int{src}
+	for depth := 1; len(frontier) > 0; depth++ {
+		var next []int
+		for _, v := range frontier {
+			for _, w := range g.Neighbors(v) {
+				if level[w] == -1 {
+					level[w] = depth
+					next = append(next, w)
+				}
+			}
+		}
+		frontier = next
+	}
+	return level
+}
+
+// BFSParallel is the level-synchronous parallel BFS: each frontier is
+// expanded by a Pyjama team, with compare-and-swap claiming of vertices so
+// each vertex is discovered exactly once. Levels are identical to the
+// sequential BFS (level-synchronous BFS is deterministic in levels, though
+// not in discovery order within a level).
+func BFSParallel(nthreads int, g *workload.Graph, src int) []int {
+	level := make([]int32, g.N)
+	for i := range level {
+		level[i] = -1
+	}
+	level[src] = 0
+	frontier := []int{src}
+	nexts := pyjama.NewThreadPrivate[[]int](nthreads)
+	for depth := int32(1); len(frontier) > 0; depth++ {
+		pyjama.Parallel(nthreads, func(tc *pyjama.TC) {
+			mine := nexts.Get(tc.ThreadNum())
+			*mine = (*mine)[:0]
+			tc.ForNoWait(len(frontier), pyjama.Dynamic(64), func(fi int) {
+				v := frontier[fi]
+				for _, w := range g.Neighbors(v) {
+					if atomic.CompareAndSwapInt32(&level[w], -1, depth) {
+						*mine = append(*mine, w)
+					}
+				}
+			})
+		})
+		frontier = frontier[:0]
+		for _, part := range nexts.Values() {
+			frontier = append(frontier, part...)
+		}
+	}
+	out := make([]int, g.N)
+	for i, l := range level {
+		out[i] = int(l)
+	}
+	return out
+}
+
+// PageRankSequential runs iters iterations of power-method PageRank with
+// damping d, returning the rank vector. Dangling mass is redistributed
+// uniformly (our generated graphs have no dangling vertices, but the
+// kernel handles them for generality).
+func PageRankSequential(g *workload.Graph, d float64, iters int) []float64 {
+	n := g.N
+	rank := make([]float64, n)
+	next := make([]float64, n)
+	for i := range rank {
+		rank[i] = 1 / float64(n)
+	}
+	contrib := make([]float64, n)
+	for it := 0; it < iters; it++ {
+		dangling := 0.0
+		for v := 0; v < n; v++ {
+			deg := g.OutDegree(v)
+			if deg == 0 {
+				dangling += rank[v]
+				contrib[v] = 0
+			} else {
+				contrib[v] = rank[v] / float64(deg)
+			}
+		}
+		base := (1-d)/float64(n) + d*dangling/float64(n)
+		for v := 0; v < n; v++ {
+			next[v] = base
+		}
+		for v := 0; v < n; v++ {
+			c := d * contrib[v]
+			for _, w := range g.Neighbors(v) {
+				next[w] += c
+			}
+		}
+		rank, next = next, rank
+	}
+	return rank
+}
+
+// PageRankParallel is the pull-based parallel formulation: it needs the
+// reverse graph so each vertex gathers from its in-neighbours, making
+// every next[v] written by exactly one thread (and thus bit-deterministic
+// given the fixed in-neighbour order).
+func PageRankParallel(nthreads int, g *workload.Graph, d float64, iters int) []float64 {
+	n := g.N
+	rg := Reverse(g)
+	rank := make([]float64, n)
+	next := make([]float64, n)
+	contrib := make([]float64, n)
+	for i := range rank {
+		rank[i] = 1 / float64(n)
+	}
+	for it := 0; it < iters; it++ {
+		var danglingShared float64
+		pyjama.Parallel(nthreads, func(tc *pyjama.TC) {
+			// Phase 1: per-vertex contributions plus a dangling-mass
+			// reduction.
+			dang := pyjama.ForReduce(tc, n, pyjama.Static(0),
+				reduction.Sum[float64](), func(v int, acc float64) float64 {
+					deg := g.OutDegree(v)
+					if deg == 0 {
+						contrib[v] = 0
+						return acc + rank[v]
+					}
+					contrib[v] = rank[v] / float64(deg)
+					return acc
+				})
+			tc.Master(func() { danglingShared = dang })
+			tc.Barrier()
+			base := (1-d)/float64(n) + d*danglingShared/float64(n)
+			// Phase 2: gather along in-edges.
+			tc.For(n, pyjama.Dynamic(128), func(v int) {
+				sum := base
+				for _, u := range rg.Neighbors(v) {
+					sum += d * contrib[u]
+				}
+				next[v] = sum
+			})
+		})
+		rank, next = next, rank
+	}
+	return rank
+}
+
+// ComponentsSequential labels the weakly connected components of g by
+// label propagation over the symmetrised edge set: every vertex starts
+// with its own id and repeatedly adopts the minimum label among itself and
+// its neighbours (both directions) until a fixpoint. Returns one label per
+// vertex; equal labels mean same component.
+func ComponentsSequential(g *workload.Graph) []int {
+	rg := Reverse(g)
+	label := make([]int, g.N)
+	for v := range label {
+		label[v] = v
+	}
+	for changed := true; changed; {
+		changed = false
+		for v := 0; v < g.N; v++ {
+			m := label[v]
+			for _, w := range g.Neighbors(v) {
+				if label[w] < m {
+					m = label[w]
+				}
+			}
+			for _, w := range rg.Neighbors(v) {
+				if label[w] < m {
+					m = label[w]
+				}
+			}
+			if m < label[v] {
+				label[v] = m
+				changed = true
+			}
+		}
+	}
+	return label
+}
+
+// ComponentsParallel is the Jacobi-style parallel label propagation: each
+// sweep computes new labels from the previous sweep's labels only (so
+// every next[v] is written by exactly one thread), iterating to fixpoint.
+// Labels converge to the same fixpoint as the sequential kernel (the
+// minimum vertex id of the component), though it may take more sweeps.
+func ComponentsParallel(nthreads int, g *workload.Graph) []int {
+	rg := Reverse(g)
+	label := make([]int, g.N)
+	next := make([]int, g.N)
+	for v := range label {
+		label[v] = v
+	}
+	var changed atomic.Bool
+	for {
+		changed.Store(false)
+		pyjama.ParallelFor(nthreads, g.N, pyjama.Dynamic(128), func(v int) {
+			m := label[v]
+			for _, w := range g.Neighbors(v) {
+				if label[w] < m {
+					m = label[w]
+				}
+			}
+			for _, w := range rg.Neighbors(v) {
+				if label[w] < m {
+					m = label[w]
+				}
+			}
+			next[v] = m
+			if m != label[v] {
+				changed.Store(true)
+			}
+		})
+		label, next = next, label
+		if !changed.Load() {
+			return label
+		}
+	}
+}
+
+// CountComponents returns the number of distinct labels.
+func CountComponents(labels []int) int {
+	seen := map[int]struct{}{}
+	for _, l := range labels {
+		seen[l] = struct{}{}
+	}
+	return len(seen)
+}
+
+// Reverse returns the transpose graph (edges flipped), preserving the
+// order of in-neighbours by source vertex so gathers are deterministic.
+func Reverse(g *workload.Graph) *workload.Graph {
+	indeg := make([]int, g.N)
+	for v := 0; v < g.N; v++ {
+		for _, w := range g.Neighbors(v) {
+			indeg[w]++
+		}
+	}
+	rg := &workload.Graph{N: g.N, Offs: make([]int, g.N+1)}
+	total := 0
+	for v := 0; v < g.N; v++ {
+		rg.Offs[v] = total
+		total += indeg[v]
+	}
+	rg.Offs[g.N] = total
+	rg.Adj = make([]int, total)
+	fill := make([]int, g.N)
+	copy(fill, rg.Offs[:g.N])
+	for v := 0; v < g.N; v++ {
+		for _, w := range g.Neighbors(v) {
+			rg.Adj[fill[w]] = v
+			fill[w]++
+		}
+	}
+	return rg
+}
+
+// L1Distance returns the L1 distance of two equal-length vectors.
+func L1Distance(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		s += math.Abs(a[i] - b[i])
+	}
+	return s
+}

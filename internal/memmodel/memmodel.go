@@ -1,0 +1,306 @@
+// Package memmodel is project 8 of the reproduced paper: "Understanding
+// and coping with the Java memory model for multi-threaded programs". The
+// students' deliverable was a set of code snippets that *force* typical
+// parallelisation problems to occur (their wording), together with fixed
+// counterparts and explanations. This package reproduces that lab for the
+// Go memory model with two instruments:
+//
+//  1. An exhaustive interleaving explorer (Explore): two operation
+//     sequences are run under every possible interleaving on a fresh
+//     state, and a checker counts the interleavings that violate the
+//     intended invariant. This makes "a race exists" a deterministic,
+//     countable fact rather than a probabilistic one.
+//
+//  2. Live forced-race demonstrators (ForcedLostUpdate, ForcedUnsafePublish,
+//     ...): real goroutines with yield points inserted where the race
+//     window is, so the anomaly reproduces reliably even on a single-CPU
+//     host, plus the fixed versions whose anomaly count must be zero.
+package memmodel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Op is one atomic step of a thread in the interleaving explorer.
+type Op[S any] func(s *S)
+
+// ExploreResult summarises an exhaustive interleaving exploration.
+type ExploreResult struct {
+	Interleavings int // total interleavings executed
+	Violations    int // interleavings whose final state failed the check
+}
+
+// Explore runs every interleaving of the two operation sequences a and b
+// on a fresh state from mk, checking the final state with ok. The number
+// of interleavings is C(len(a)+len(b), len(a)); keep sequences short.
+func Explore[S any](mk func() *S, a, b []Op[S], ok func(*S) bool) ExploreResult {
+	var res ExploreResult
+	schedule := make([]bool, 0, len(a)+len(b))
+	var rec func(ai, bi int)
+	rec = func(ai, bi int) {
+		if ai == len(a) && bi == len(b) {
+			s := mk()
+			ia, ib := 0, 0
+			for _, fromA := range schedule {
+				if fromA {
+					a[ia](s)
+					ia++
+				} else {
+					b[ib](s)
+					ib++
+				}
+			}
+			res.Interleavings++
+			if !ok(s) {
+				res.Violations++
+			}
+			return
+		}
+		if ai < len(a) {
+			schedule = append(schedule, true)
+			rec(ai+1, bi)
+			schedule = schedule[:len(schedule)-1]
+		}
+		if bi < len(b) {
+			schedule = append(schedule, false)
+			rec(ai, bi+1)
+			schedule = schedule[:len(schedule)-1]
+		}
+	}
+	rec(0, 0)
+	return res
+}
+
+// ---- Snippet 1: the lost update ----
+
+// CounterState is the shared state of the lost-update snippet.
+type CounterState struct {
+	N   int
+	tmp [2]int // per-thread register holding the read value
+}
+
+// LostUpdateOps returns thread t's operations for the racy counter
+// increment: a separate read and write, exposing the interleaving window.
+func LostUpdateOps(t int) []Op[CounterState] {
+	return []Op[CounterState]{
+		func(s *CounterState) { s.tmp[t] = s.N },     // load
+		func(s *CounterState) { s.N = s.tmp[t] + 1 }, // store
+	}
+}
+
+// AtomicIncrementOps returns thread t's operations for the fixed version:
+// the increment is one indivisible step (what a mutex or atomic provides).
+func AtomicIncrementOps(t int) []Op[CounterState] {
+	return []Op[CounterState]{
+		func(s *CounterState) { s.N++ },
+	}
+}
+
+// ---- Snippet 2: unsafe publication ----
+
+// PublishState models publishing an initialised object via a plain flag.
+type PublishState struct {
+	Data     int
+	Ready    bool
+	Observed int // what the reader saw (-1: saw nothing)
+}
+
+// UnsafePublishWriterOps publishes with the flag store *before* the data
+// store — the reordering the memory model permits a compiler/CPU to make
+// of an unsynchronised writer, made explicit so the explorer can count
+// the damage.
+func UnsafePublishWriterOps() []Op[PublishState] {
+	return []Op[PublishState]{
+		func(s *PublishState) { s.Ready = true },
+		func(s *PublishState) { s.Data = 42 },
+	}
+}
+
+// SafePublishWriterOps stores data before the flag, the order a
+// synchronised (atomic/mutex) publication guarantees.
+func SafePublishWriterOps() []Op[PublishState] {
+	return []Op[PublishState]{
+		func(s *PublishState) { s.Data = 42 },
+		func(s *PublishState) { s.Ready = true },
+	}
+}
+
+// PublishReaderOps reads the flag, then the data.
+func PublishReaderOps() []Op[PublishState] {
+	return []Op[PublishState]{
+		func(s *PublishState) {
+			if s.Ready {
+				s.Observed = s.Data
+			} else {
+				s.Observed = -1
+			}
+		},
+	}
+}
+
+// PublishOK is the invariant: a reader that saw the flag must see the
+// initialised data.
+func PublishOK(s *PublishState) bool { return s.Observed == -1 || s.Observed == 42 }
+
+// ---- Snippet 3: check-then-act ----
+
+// CacheState models the lazily initialised cache two threads populate.
+type CacheState struct {
+	Present  bool
+	Computes int
+	tmp      [2]bool
+}
+
+// CheckThenActOps returns thread t's racy lazy initialisation: check,
+// window, act. Both threads can pass the check before either acts.
+func CheckThenActOps(t int) []Op[CacheState] {
+	return []Op[CacheState]{
+		func(s *CacheState) { s.tmp[t] = s.Present }, // check
+		func(s *CacheState) { // act
+			if !s.tmp[t] {
+				s.Computes++
+				s.Present = true
+			}
+		},
+	}
+}
+
+// AtomicCheckThenActOps is the fixed compound operation (GetOrCompute).
+func AtomicCheckThenActOps(t int) []Op[CacheState] {
+	return []Op[CacheState]{
+		func(s *CacheState) {
+			if !s.Present {
+				s.Computes++
+				s.Present = true
+			}
+		},
+	}
+}
+
+// ---- Live forced-race demonstrators ----
+
+// TrialStats reports live-trial outcomes.
+type TrialStats struct {
+	Trials    int
+	Anomalies int
+}
+
+// Rate returns the anomaly fraction.
+func (t TrialStats) Rate() float64 {
+	if t.Trials == 0 {
+		return 0
+	}
+	return float64(t.Anomalies) / float64(t.Trials)
+}
+
+// ForcedLostUpdate runs trials of `workers` goroutines each incrementing a
+// shared counter `perWorker` times through a read-yield-write window (the
+// students' "forcing a race condition"), counting trials that lost
+// updates. The yield makes the anomaly reproduce even on one CPU.
+func ForcedLostUpdate(trials, workers, perWorker int) TrialStats {
+	st := TrialStats{Trials: trials}
+	for trial := 0; trial < trials; trial++ {
+		var n int64 // shared; the read-modify-write below is non-atomic on purpose
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < perWorker; i++ {
+					v := atomic.LoadInt64(&n) // read (atomic load: the race is the lost window, not a torn read)
+					runtime.Gosched()         // the forced window
+					atomic.StoreInt64(&n, v+1)
+				}
+			}()
+		}
+		wg.Wait()
+		if n != int64(workers*perWorker) {
+			st.Anomalies++
+		}
+	}
+	return st
+}
+
+// FixedLostUpdate is the corrected counterpart using an atomic add; its
+// anomaly count is always zero.
+func FixedLostUpdate(trials, workers, perWorker int) TrialStats {
+	st := TrialStats{Trials: trials}
+	for trial := 0; trial < trials; trial++ {
+		var n atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < perWorker; i++ {
+					runtime.Gosched()
+					n.Add(1)
+				}
+			}()
+		}
+		wg.Wait()
+		if n.Load() != int64(workers*perWorker) {
+			st.Anomalies++
+		}
+	}
+	return st
+}
+
+// ForcedDoubleCompute runs live trials of the check-then-act race: two
+// goroutines lazily initialise one cache entry through a yield window,
+// counting trials where the value was computed more than once.
+func ForcedDoubleCompute(trials int) TrialStats {
+	st := TrialStats{Trials: trials}
+	for trial := 0; trial < trials; trial++ {
+		var present atomic.Bool
+		var computes atomic.Int32
+		var wg sync.WaitGroup
+		for w := 0; w < 2; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				if !present.Load() { // check
+					runtime.Gosched() // window
+					computes.Add(1)   // act (compute)
+					present.Store(true)
+				}
+			}()
+		}
+		wg.Wait()
+		if computes.Load() > 1 {
+			st.Anomalies++
+		}
+	}
+	return st
+}
+
+// FixedDoubleCompute is the corrected compound version (mutex-guarded
+// check-then-act); anomalies are always zero.
+func FixedDoubleCompute(trials int) TrialStats {
+	st := TrialStats{Trials: trials}
+	for trial := 0; trial < trials; trial++ {
+		var mu sync.Mutex
+		present := false
+		computes := 0
+		var wg sync.WaitGroup
+		for w := 0; w < 2; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				mu.Lock()
+				if !present {
+					computes++
+					present = true
+				}
+				mu.Unlock()
+			}()
+		}
+		wg.Wait()
+		if computes > 1 {
+			st.Anomalies++
+		}
+	}
+	return st
+}

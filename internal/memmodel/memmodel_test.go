@@ -1,0 +1,151 @@
+package memmodel
+
+import "testing"
+
+func TestExploreCountsInterleavings(t *testing.T) {
+	// C(4,2) = 6 interleavings of two 2-op threads.
+	res := Explore(
+		func() *CounterState { return &CounterState{} },
+		LostUpdateOps(0), LostUpdateOps(1),
+		func(s *CounterState) bool { return s.N == 2 },
+	)
+	if res.Interleavings != 6 {
+		t.Fatalf("interleavings = %d, want 6", res.Interleavings)
+	}
+}
+
+func TestLostUpdateHasViolations(t *testing.T) {
+	res := Explore(
+		func() *CounterState { return &CounterState{} },
+		LostUpdateOps(0), LostUpdateOps(1),
+		func(s *CounterState) bool { return s.N == 2 },
+	)
+	if res.Violations == 0 {
+		t.Fatal("racy increment shows no bad interleavings")
+	}
+	// The two fully-serialised interleavings (AABB, BBAA) are correct;
+	// the four interleaved ones lose an update.
+	if res.Violations != 4 {
+		t.Fatalf("violations = %d, want 4", res.Violations)
+	}
+}
+
+func TestAtomicIncrementHasNoViolations(t *testing.T) {
+	res := Explore(
+		func() *CounterState { return &CounterState{} },
+		AtomicIncrementOps(0), AtomicIncrementOps(1),
+		func(s *CounterState) bool { return s.N == 2 },
+	)
+	if res.Interleavings != 2 {
+		t.Fatalf("interleavings = %d", res.Interleavings)
+	}
+	if res.Violations != 0 {
+		t.Fatalf("atomic increment violated in %d interleavings", res.Violations)
+	}
+}
+
+func TestUnsafePublishHasViolations(t *testing.T) {
+	res := Explore(
+		func() *PublishState { return &PublishState{Observed: -1} },
+		UnsafePublishWriterOps(), PublishReaderOps(),
+		PublishOK,
+	)
+	if res.Violations == 0 {
+		t.Fatal("reordered publication shows no anomaly")
+	}
+}
+
+func TestSafePublishHasNoViolations(t *testing.T) {
+	res := Explore(
+		func() *PublishState { return &PublishState{Observed: -1} },
+		SafePublishWriterOps(), PublishReaderOps(),
+		PublishOK,
+	)
+	if res.Violations != 0 {
+		t.Fatalf("safe publication violated in %d interleavings", res.Violations)
+	}
+}
+
+func TestCheckThenActHasViolations(t *testing.T) {
+	res := Explore(
+		func() *CacheState { return &CacheState{} },
+		CheckThenActOps(0), CheckThenActOps(1),
+		func(s *CacheState) bool { return s.Computes == 1 },
+	)
+	if res.Violations == 0 {
+		t.Fatal("check-then-act shows no double compute")
+	}
+}
+
+func TestAtomicCheckThenActHasNoViolations(t *testing.T) {
+	res := Explore(
+		func() *CacheState { return &CacheState{} },
+		AtomicCheckThenActOps(0), AtomicCheckThenActOps(1),
+		func(s *CacheState) bool { return s.Computes == 1 },
+	)
+	if res.Violations != 0 {
+		t.Fatalf("atomic check-then-act violated in %d interleavings", res.Violations)
+	}
+}
+
+func TestExploreAsymmetricLengths(t *testing.T) {
+	// C(3,1) = 3 interleavings of a 1-op and a 2-op thread.
+	res := Explore(
+		func() *CounterState { return &CounterState{} },
+		AtomicIncrementOps(0), LostUpdateOps(1),
+		func(s *CounterState) bool { return true },
+	)
+	if res.Interleavings != 3 {
+		t.Fatalf("interleavings = %d, want 3", res.Interleavings)
+	}
+}
+
+func TestForcedLostUpdateShowsAnomalies(t *testing.T) {
+	st := ForcedLostUpdate(30, 4, 50)
+	if st.Trials != 30 {
+		t.Fatalf("trials = %d", st.Trials)
+	}
+	if st.Anomalies == 0 {
+		t.Error("forced lost update produced no anomalies; race window ineffective")
+	}
+	if st.Rate() < 0 || st.Rate() > 1 {
+		t.Errorf("rate = %g", st.Rate())
+	}
+}
+
+func TestFixedLostUpdateIsExact(t *testing.T) {
+	st := FixedLostUpdate(20, 4, 50)
+	if st.Anomalies != 0 {
+		t.Fatalf("fixed version lost updates in %d trials", st.Anomalies)
+	}
+}
+
+func TestForcedDoubleComputeShowsAnomalies(t *testing.T) {
+	st := ForcedDoubleCompute(200)
+	if st.Anomalies == 0 {
+		t.Error("forced double-compute produced no anomalies")
+	}
+}
+
+func TestFixedDoubleComputeIsExact(t *testing.T) {
+	st := FixedDoubleCompute(200)
+	if st.Anomalies != 0 {
+		t.Fatalf("fixed double-compute anomalies = %d", st.Anomalies)
+	}
+}
+
+func TestTrialStatsRateEmpty(t *testing.T) {
+	if (TrialStats{}).Rate() != 0 {
+		t.Fatal("empty rate not 0")
+	}
+}
+
+func BenchmarkExploreLostUpdate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Explore(
+			func() *CounterState { return &CounterState{} },
+			LostUpdateOps(0), LostUpdateOps(1),
+			func(s *CounterState) bool { return s.N == 2 },
+		)
+	}
+}

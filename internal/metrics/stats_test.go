@@ -1,0 +1,269 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"parc751/internal/xrand"
+)
+
+func TestSummaryBasics(t *testing.T) {
+	var s Summary
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(x)
+	}
+	if s.N() != 8 {
+		t.Fatalf("N = %d", s.N())
+	}
+	if got := s.Mean(); math.Abs(got-5) > 1e-12 {
+		t.Errorf("mean = %g, want 5", got)
+	}
+	// Sample variance of this classic data set is 32/7.
+	if got := s.Variance(); math.Abs(got-32.0/7.0) > 1e-12 {
+		t.Errorf("variance = %g, want %g", got, 32.0/7.0)
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Errorf("min/max = %g/%g", s.Min(), s.Max())
+	}
+}
+
+func TestSummaryEmpty(t *testing.T) {
+	var s Summary
+	if s.Mean() != 0 || s.Variance() != 0 || s.CI95() != 0 || s.N() != 0 {
+		t.Error("empty summary should report zeros")
+	}
+}
+
+func TestSummarySingle(t *testing.T) {
+	var s Summary
+	s.Add(3.5)
+	if s.Mean() != 3.5 || s.Min() != 3.5 || s.Max() != 3.5 {
+		t.Error("single-element summary wrong")
+	}
+	if s.Variance() != 0 || s.CI95() != 0 {
+		t.Error("variance of single element must be 0")
+	}
+}
+
+func TestSummaryAddDuration(t *testing.T) {
+	var s Summary
+	s.AddDuration(500 * time.Millisecond)
+	s.AddDuration(1500 * time.Millisecond)
+	if got := s.Mean(); math.Abs(got-1.0) > 1e-12 {
+		t.Errorf("mean = %g, want 1.0 second", got)
+	}
+}
+
+// TestMergeEquivalence is the key property: merging partial summaries must
+// be indistinguishable from a single sequential accumulation. This is what
+// makes Summary a valid parallel reduction operand.
+func TestMergeEquivalence(t *testing.T) {
+	f := func(seed uint64, splitRaw uint8) bool {
+		r := xrand.New(seed)
+		n := 50 + r.Intn(200)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = r.NormFloat64() * 10
+		}
+		split := int(splitRaw) % n
+
+		var whole Summary
+		for _, x := range xs {
+			whole.Add(x)
+		}
+		var a, b Summary
+		for _, x := range xs[:split] {
+			a.Add(x)
+		}
+		for _, x := range xs[split:] {
+			b.Add(x)
+		}
+		a.Merge(&b)
+		return a.N() == whole.N() &&
+			math.Abs(a.Mean()-whole.Mean()) < 1e-9 &&
+			math.Abs(a.Variance()-whole.Variance()) < 1e-6 &&
+			a.Min() == whole.Min() && a.Max() == whole.Max()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMergeWithEmpty(t *testing.T) {
+	var a, b Summary
+	a.Add(1)
+	a.Add(3)
+	before := a.Mean()
+	a.Merge(&b)
+	if a.Mean() != before || a.N() != 2 {
+		t.Error("merging empty summary changed state")
+	}
+	b.Merge(&a)
+	if b.N() != 2 || b.Mean() != before {
+		t.Error("merging into empty summary lost state")
+	}
+}
+
+func TestSpeedupAndEfficiency(t *testing.T) {
+	if got := Speedup(10, 2); got != 5 {
+		t.Errorf("Speedup = %g", got)
+	}
+	if !math.IsInf(Speedup(1, 0), 1) {
+		t.Error("Speedup with zero parallel should be +Inf")
+	}
+	if !math.IsNaN(Speedup(0, 0)) {
+		t.Error("Speedup(0,0) should be NaN")
+	}
+	if got := Efficiency(16, 2, 8); got != 1 {
+		t.Errorf("Efficiency = %g, want 1", got)
+	}
+	if !math.IsNaN(Efficiency(1, 1, 0)) {
+		t.Error("Efficiency with p=0 should be NaN")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{15, 20, 35, 40, 50}
+	if got := Percentile(xs, 0); got != 15 {
+		t.Errorf("p0 = %g", got)
+	}
+	if got := Percentile(xs, 1); got != 50 {
+		t.Errorf("p100 = %g", got)
+	}
+	if got := Percentile(xs, 0.5); got != 35 {
+		t.Errorf("median = %g", got)
+	}
+	if got := Percentile(xs, 0.25); got != 20 {
+		t.Errorf("p25 = %g", got)
+	}
+	if !math.IsNaN(Percentile(nil, 0.5)) {
+		t.Error("empty percentile should be NaN")
+	}
+	// Input must not be reordered.
+	if xs[0] != 15 || xs[4] != 50 {
+		t.Error("Percentile mutated its input")
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if got := GeoMean([]float64{1, 4, 16}); math.Abs(got-4) > 1e-12 {
+		t.Errorf("GeoMean = %g, want 4", got)
+	}
+	if !math.IsNaN(GeoMean(nil)) {
+		t.Error("empty GeoMean should be NaN")
+	}
+	if !math.IsNaN(GeoMean([]float64{1, -1})) {
+		t.Error("GeoMean with negative input should be NaN")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := NewTable("Demo", "name", "value")
+	tab.AddRow("alpha", 1.5)
+	tab.AddRow("beta-longer-name", 12345.678)
+	out := tab.String()
+	if !strings.Contains(out, "== Demo ==") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "alpha") || !strings.Contains(out, "beta-longer-name") {
+		t.Error("missing rows")
+	}
+	if !strings.Contains(out, "12346") {
+		t.Errorf("large float misformatted: %s", out)
+	}
+	if tab.NumRows() != 2 {
+		t.Errorf("NumRows = %d", tab.NumRows())
+	}
+	// title, header, rule, two data rows
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 {
+		t.Errorf("unexpected line count %d: %q", len(lines), out)
+	}
+}
+
+func TestTableNaNRendersDash(t *testing.T) {
+	tab := NewTable("", "v")
+	tab.AddRow(math.NaN())
+	if !strings.Contains(tab.String(), "-") {
+		t.Error("NaN should render as dash")
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tab := NewTable("t", "name", "value")
+	tab.AddRow("plain", 1.5)
+	tab.AddRow("with,comma", `say "hi"`)
+	csv := tab.CSV()
+	lines := strings.Split(strings.TrimRight(csv, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("csv lines = %d: %q", len(lines), csv)
+	}
+	if lines[0] != "name,value" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.Contains(lines[2], `"with,comma"`) {
+		t.Errorf("comma cell not quoted: %q", lines[2])
+	}
+	if !strings.Contains(lines[2], `"say ""hi"""`) {
+		t.Errorf("quote cell not escaped: %q", lines[2])
+	}
+}
+
+func TestChartRendering(t *testing.T) {
+	s1 := &Series{Name: "seq"}
+	s2 := &Series{Name: "par"}
+	for i := 1; i <= 8; i *= 2 {
+		s1.Add(float64(i), 1)
+		s2.Add(float64(i), float64(i))
+	}
+	ch := &Chart{Title: "Speedup", XLabel: "cores", YLabel: "S"}
+	ch.AddSeries(s1)
+	ch.AddSeries(s2)
+	out := ch.String()
+	for _, want := range []string{"== Speedup ==", "seq", "par", "cores", "top=8"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("chart output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestChartEmpty(t *testing.T) {
+	ch := &Chart{Title: "empty"}
+	if !strings.Contains(ch.String(), "(no data)") {
+		t.Error("empty chart should say so")
+	}
+}
+
+func TestChartFlatLine(t *testing.T) {
+	s := &Series{Name: "flat"}
+	s.Add(1, 5)
+	s.Add(2, 5)
+	ch := &Chart{Title: "flat", XLabel: "x", YLabel: "y"}
+	ch.AddSeries(s)
+	if out := ch.String(); !strings.Contains(out, "flat") {
+		t.Errorf("flat chart failed: %s", out)
+	}
+}
+
+func BenchmarkSummaryAdd(b *testing.B) {
+	var s Summary
+	for i := 0; i < b.N; i++ {
+		s.Add(float64(i))
+	}
+}
+
+func BenchmarkSummaryMerge(b *testing.B) {
+	var a, c Summary
+	for i := 0; i < 1000; i++ {
+		a.Add(float64(i))
+		c.Add(float64(i) * 2)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tmp := a
+		tmp.Merge(&c)
+	}
+}

@@ -1,0 +1,185 @@
+package pdfsearch
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"parc751/internal/ptask"
+	"parc751/internal/workload"
+)
+
+func newRT(t *testing.T, workers int) *ptask.Runtime {
+	t.Helper()
+	rt := ptask.NewRuntime(workers)
+	t.Cleanup(rt.Shutdown)
+	return rt
+}
+
+func TestSequentialFindsPlantedHits(t *testing.T) {
+	spec := workload.DefaultDocSpec(3)
+	docs, hits := workload.GenDocs(spec)
+	got := Sequential(docs, spec.Needle)
+	if len(got) != hits {
+		t.Fatalf("found %d, planted %d", len(got), hits)
+	}
+}
+
+func TestAllGranularitiesMatchSequential(t *testing.T) {
+	rt := newRT(t, 4)
+	spec := workload.DefaultDocSpec(5)
+	docs, _ := workload.GenDocs(spec)
+	want := Sequential(docs, spec.Needle)
+	for _, g := range []Granularity{PerFile, PerPage, Hybrid} {
+		got := Search(rt, docs, spec.Needle, Options{Granularity: g})
+		if len(got) != len(want) {
+			t.Fatalf("%v: %d hits, want %d", g, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%v: hit %d = %+v, want %+v (ordering broken)", g, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestHybridPagesPerTask(t *testing.T) {
+	rt := newRT(t, 2)
+	spec := workload.DefaultDocSpec(7)
+	docs, _ := workload.GenDocs(spec)
+	want := Sequential(docs, spec.Needle)
+	for _, run := range []int{1, 4, 64, 1000} {
+		got := Search(rt, docs, spec.Needle, Options{Granularity: Hybrid, PagesPerTask: run})
+		if len(got) != len(want) {
+			t.Fatalf("run=%d: %d hits, want %d", run, len(got), len(want))
+		}
+	}
+}
+
+func TestUnitCounts(t *testing.T) {
+	docs := []*workload.Document{
+		{Name: "a", Pages: make([]string, 10)},
+		{Name: "b", Pages: make([]string, 25)},
+	}
+	if n := UnitCount(docs, PerFile, 0); n != 2 {
+		t.Errorf("per-file units = %d", n)
+	}
+	if n := UnitCount(docs, PerPage, 0); n != 35 {
+		t.Errorf("per-page units = %d", n)
+	}
+	// ceil(10/16) + ceil(25/16) = 1 + 2.
+	if n := UnitCount(docs, Hybrid, 16); n != 3 {
+		t.Errorf("hybrid units = %d", n)
+	}
+	if n := UnitCount(docs, Granularity(99), 0); n != 0 {
+		t.Errorf("unknown granularity units = %d", n)
+	}
+}
+
+func TestGranularityString(t *testing.T) {
+	for g, want := range map[Granularity]string{
+		PerFile: "per-file", PerPage: "per-page", Hybrid: "hybrid",
+		Granularity(42): "unknown",
+	} {
+		if g.String() != want {
+			t.Errorf("%d.String() = %q", g, g.String())
+		}
+	}
+}
+
+func TestStreamingHits(t *testing.T) {
+	rt := newRT(t, 4)
+	spec := workload.DefaultDocSpec(9)
+	docs, hits := workload.GenDocs(spec)
+	var mu sync.Mutex
+	streamed := 0
+	Search(rt, docs, spec.Needle, Options{
+		Granularity: PerPage,
+		OnHit: func(h Hit) {
+			mu.Lock()
+			streamed++
+			mu.Unlock()
+		},
+	})
+	deadline := time.After(5 * time.Second)
+	for {
+		mu.Lock()
+		n := streamed
+		mu.Unlock()
+		if n == hits {
+			return
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("streamed %d of %d", n, hits)
+		case <-time.After(time.Millisecond):
+		}
+	}
+}
+
+func TestSkewedDocsStillCorrect(t *testing.T) {
+	// One giant document among many small ones — the case where per-file
+	// granularity has a straggler but must still be correct.
+	rt := newRT(t, 4)
+	spec := workload.DocSpec{Seed: 21, NumDocs: 20, MinPages: 2, MaxPages: 4,
+		WordsPage: 40, NeedleRate: 0.2, Needle: "pdfNEEDLE"}
+	docs, _ := workload.GenDocs(spec)
+	bigSpec := workload.DocSpec{Seed: 22, NumDocs: 1, MinPages: 400, MaxPages: 400,
+		WordsPage: 40, NeedleRate: 0.2, Needle: "pdfNEEDLE"}
+	big, _ := workload.GenDocs(bigSpec)
+	docs = append(docs, big...)
+	want := Sequential(docs, spec.Needle)
+	for _, g := range []Granularity{PerFile, PerPage, Hybrid} {
+		got := Search(rt, docs, spec.Needle, Options{Granularity: g})
+		if len(got) != len(want) {
+			t.Fatalf("%v: %d hits, want %d", g, len(got), len(want))
+		}
+	}
+}
+
+func TestEmptyCorpus(t *testing.T) {
+	rt := newRT(t, 2)
+	if got := Search(rt, nil, "x", Options{Granularity: PerPage}); len(got) != 0 {
+		t.Fatal("hits in empty corpus")
+	}
+}
+
+func TestUnknownGranularityPanics(t *testing.T) {
+	rt := newRT(t, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown granularity did not panic")
+		}
+	}()
+	Search(rt, nil, "x", Options{Granularity: Granularity(42)})
+}
+
+func BenchmarkPerFile(b *testing.B) {
+	rt := ptask.NewRuntime(4)
+	defer rt.Shutdown()
+	docs, _ := workload.GenDocs(workload.DefaultDocSpec(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Search(rt, docs, "pdfNEEDLE", Options{Granularity: PerFile})
+	}
+}
+
+func BenchmarkPerPage(b *testing.B) {
+	rt := ptask.NewRuntime(4)
+	defer rt.Shutdown()
+	docs, _ := workload.GenDocs(workload.DefaultDocSpec(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Search(rt, docs, "pdfNEEDLE", Options{Granularity: PerPage})
+	}
+}
+
+func BenchmarkHybrid(b *testing.B) {
+	rt := ptask.NewRuntime(4)
+	defer rt.Shutdown()
+	docs, _ := workload.GenDocs(workload.DefaultDocSpec(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Search(rt, docs, "pdfNEEDLE", Options{Granularity: Hybrid, PagesPerTask: 16})
+	}
+}

@@ -1,0 +1,69 @@
+package ptask
+
+import "sync"
+
+// Progress is the in-task interim-update channel of Parallel Task: a
+// running task publishes intermediate values ("intermittent updates as
+// results are found", §IV-C items 4 and 7) and registered handlers receive
+// them on the runtime's event loop. Unlike MultiTask.NotifyEach, which
+// fires once per completed sub-task, Progress lets a single long-running
+// task stream updates while it is still executing.
+//
+// Handlers registered after a publication receive only later values;
+// publication order is preserved per publisher.
+type Progress[P any] struct {
+	rt *Runtime
+
+	mu       sync.Mutex
+	handlers []func(P)
+	closed   bool
+	count    int64
+}
+
+// NewProgress creates a progress channel tied to rt's event loop.
+func NewProgress[P any](rt *Runtime) *Progress[P] {
+	return &Progress[P]{rt: rt}
+}
+
+// Notify registers a handler for future publications. Multiple handlers
+// receive every value, each via the event loop when one is registered.
+func (p *Progress[P]) Notify(fn func(P)) {
+	p.mu.Lock()
+	p.handlers = append(p.handlers, fn)
+	p.mu.Unlock()
+}
+
+// Publish delivers v to every registered handler. It is safe to call from
+// any task or goroutine; publications after Close are dropped. It returns
+// whether the value was delivered to the dispatch queue.
+func (p *Progress[P]) Publish(v P) bool {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return false
+	}
+	hs := make([]func(P), len(p.handlers))
+	copy(hs, p.handlers)
+	p.count++
+	p.mu.Unlock()
+	for _, h := range hs {
+		h := h
+		p.rt.dispatch(func() { h(v) })
+	}
+	return true
+}
+
+// Count returns the number of accepted publications.
+func (p *Progress[P]) Count() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.count
+}
+
+// Close stops further publications. It does not flush the event loop;
+// handlers already dispatched still run.
+func (p *Progress[P]) Close() {
+	p.mu.Lock()
+	p.closed = true
+	p.mu.Unlock()
+}

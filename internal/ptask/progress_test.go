@@ -1,0 +1,116 @@
+package ptask
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"parc751/internal/eventloop"
+)
+
+func TestProgressDeliversAllValues(t *testing.T) {
+	rt := newRT(t, 2)
+	prog := NewProgress[int](rt)
+	var mu sync.Mutex
+	var got []int
+	prog.Notify(func(v int) {
+		mu.Lock()
+		got = append(got, v)
+		mu.Unlock()
+	})
+	task := Invoke(rt, func() error {
+		for i := 0; i < 10; i++ {
+			prog.Publish(i)
+		}
+		return nil
+	})
+	task.Result()
+	deadline := time.After(5 * time.Second)
+	for {
+		mu.Lock()
+		n := len(got)
+		mu.Unlock()
+		if n == 10 {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("received %d of 10 publications", n)
+		case <-time.After(time.Millisecond):
+		}
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("publication order broken: %v", got)
+		}
+	}
+	if prog.Count() != 10 {
+		t.Fatalf("Count = %d", prog.Count())
+	}
+}
+
+func TestProgressOnEventLoop(t *testing.T) {
+	rt := newRT(t, 2)
+	loop := eventloop.New()
+	defer loop.Close()
+	rt.SetEventLoop(loop)
+	prog := NewProgress[string](rt)
+	onLoop := make(chan bool, 1)
+	prog.Notify(func(string) { onLoop <- loop.OnDispatchThread() })
+	prog.Publish("tick")
+	select {
+	case ok := <-onLoop:
+		if !ok {
+			t.Fatal("progress handler off the dispatch thread")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("progress never delivered")
+	}
+}
+
+func TestProgressMultipleHandlers(t *testing.T) {
+	rt := newRT(t, 1)
+	prog := NewProgress[int](rt)
+	got := make(chan int, 2)
+	prog.Notify(func(v int) { got <- v })
+	prog.Notify(func(v int) { got <- v * 10 })
+	prog.Publish(3)
+	sum := <-got + <-got
+	if sum != 33 {
+		t.Fatalf("handlers received %d", sum)
+	}
+}
+
+func TestProgressCloseDropsPublications(t *testing.T) {
+	rt := newRT(t, 1)
+	prog := NewProgress[int](rt)
+	var calls int
+	prog.Notify(func(int) { calls++ })
+	if !prog.Publish(1) {
+		t.Fatal("pre-close publish rejected")
+	}
+	prog.Close()
+	if prog.Publish(2) {
+		t.Fatal("post-close publish accepted")
+	}
+	if prog.Count() != 1 {
+		t.Fatalf("Count = %d", prog.Count())
+	}
+}
+
+func TestProgressLateSubscriberMissesEarlyValues(t *testing.T) {
+	rt := newRT(t, 1)
+	prog := NewProgress[int](rt)
+	prog.Publish(1) // nobody listening
+	got := make(chan int, 1)
+	prog.Notify(func(v int) { got <- v })
+	prog.Publish(2)
+	select {
+	case v := <-got:
+		if v != 2 {
+			t.Fatalf("late subscriber saw %d", v)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("late subscriber never notified")
+	}
+}

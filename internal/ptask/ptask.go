@@ -1,0 +1,375 @@
+// Package ptask reproduces Parallel Task, the PARC lab's task-parallelism
+// model for object-oriented desktop and mobile applications (Giacaman &
+// Sinnen, IJPP 41(5), 2013; §IV-B of the reproduced paper). The Java
+// original extends the language with a TASK keyword; this Go reproduction
+// provides the same runtime semantics as a library:
+//
+//   - tasks are futures executed by a work-stealing pool (Run);
+//   - tasks may depend on other tasks and start only when every
+//     dependence has completed (RunAfter) — the task-DAG model;
+//   - multi-tasks fan one logical task out into one sub-task per element
+//     (RunMulti), Parallel Task's "TASK(*)";
+//   - completion and interim-result handlers are delivered on the GUI
+//     event-dispatch thread (Notify / NotifyEach), the feature that makes
+//     the model suitable for interactive applications;
+//   - failures inside tasks surface as errors on the future, never as a
+//     crashed worker (the asynchronous-exception model);
+//   - joins "help": a goroutine waiting on a task executes other queued
+//     tasks, so recursive decompositions run on pools of any size.
+package ptask
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+
+	"parc751/internal/core"
+	"parc751/internal/eventloop"
+)
+
+// ErrCancelled is the error carried by a task cancelled before it ran.
+var ErrCancelled = errors.New("ptask: task cancelled")
+
+// Task states.
+const (
+	stateWaiting int32 = iota // waiting on dependences
+	stateQueued               // submitted to the pool, not yet running
+	stateRunning
+	stateDone
+	stateCancelled
+)
+
+// Runtime owns the worker pool and (optionally) the GUI event loop used
+// for handler delivery. A Runtime must be Shutdown when no longer needed.
+type Runtime struct {
+	pool *core.Pool
+	loop *eventloop.Loop
+}
+
+// NewRuntime starts a runtime with the given number of worker threads.
+func NewRuntime(workers int) *Runtime {
+	return &Runtime{pool: core.NewPool(workers)}
+}
+
+// SetEventLoop registers the GUI event loop on which Notify handlers run.
+// Without one, handlers run inline on the completing worker.
+func (rt *Runtime) SetEventLoop(l *eventloop.Loop) { rt.loop = l }
+
+// EventLoop returns the registered loop, or nil.
+func (rt *Runtime) EventLoop() *eventloop.Loop { return rt.loop }
+
+// Workers returns the pool size.
+func (rt *Runtime) Workers() int { return rt.pool.Size() }
+
+// Shutdown drains outstanding work and stops the workers.
+func (rt *Runtime) Shutdown() { rt.pool.Shutdown() }
+
+// dispatch routes a handler to the event loop when one is registered and
+// still accepting events; otherwise the handler runs inline.
+func (rt *Runtime) dispatch(fn func()) {
+	if rt.loop != nil {
+		if err := rt.loop.InvokeLater(fn); err == nil {
+			return
+		}
+	}
+	fn()
+}
+
+// await blocks until done, helping the pool if called from a worker so
+// that joins never deadlock.
+func (rt *Runtime) await(done <-chan struct{}) {
+	if rt.pool.OnWorker() {
+		rt.pool.Help(done)
+		return
+	}
+	<-done
+}
+
+// Dep is the dependence interface: anything whose completion a task can
+// wait on. Task[T] (any T) and MultiTask[T] both satisfy it.
+type Dep interface {
+	// onDone arranges for fn to be called exactly once when the
+	// dependence completes; if already complete, fn runs immediately.
+	onDone(fn func())
+}
+
+// Task is an asynchronous computation producing a T. Create with Run or
+// RunAfter, or as part of a multi-task.
+type Task[T any] struct {
+	rt    *Runtime
+	fut   *core.Future[T]
+	state atomic.Int32
+
+	mu        sync.Mutex
+	callbacks []func()
+	waitDeps  int
+	body      func() (T, error)
+}
+
+// Run submits fn for asynchronous execution and returns its task handle.
+func Run[T any](rt *Runtime, fn func() (T, error)) *Task[T] {
+	return RunAfter(rt, nil, fn)
+}
+
+// RunAfter submits fn to run only after every dependence in deps has
+// completed (whether successfully, with an error, or cancelled — the
+// dependent can inspect its dependences if it cares). A nil or empty deps
+// behaves like Run.
+func RunAfter[T any](rt *Runtime, deps []Dep, fn func() (T, error)) *Task[T] {
+	t := &Task[T]{rt: rt, fut: core.NewFuture[T](), body: fn}
+	t.state.Store(stateWaiting)
+	if len(deps) == 0 {
+		t.enqueue()
+		return t
+	}
+	t.mu.Lock()
+	t.waitDeps = len(deps)
+	t.mu.Unlock()
+	for _, d := range deps {
+		d.onDone(t.depDone)
+	}
+	return t
+}
+
+func (t *Task[T]) depDone() {
+	t.mu.Lock()
+	t.waitDeps--
+	ready := t.waitDeps == 0
+	t.mu.Unlock()
+	if ready {
+		t.enqueue()
+	}
+}
+
+func (t *Task[T]) enqueue() {
+	if !t.state.CompareAndSwap(stateWaiting, stateQueued) {
+		return // cancelled while waiting on dependences
+	}
+	t.rt.pool.Submit(t.run)
+}
+
+func (t *Task[T]) run() {
+	if !t.state.CompareAndSwap(stateQueued, stateRunning) {
+		return // cancelled while queued
+	}
+	var val T
+	var err error
+	if perr := core.Catch(func() { val, err = t.body() }); perr != nil {
+		err = perr
+	}
+	t.complete(stateDone, val, err)
+}
+
+func (t *Task[T]) complete(final int32, v T, err error) {
+	t.state.Store(final)
+	t.fut.Complete(v, err)
+	t.mu.Lock()
+	cbs := t.callbacks
+	t.callbacks = nil
+	t.mu.Unlock()
+	for _, cb := range cbs {
+		cb()
+	}
+}
+
+// onDone implements Dep.
+func (t *Task[T]) onDone(fn func()) {
+	t.mu.Lock()
+	if t.fut.IsDone() {
+		t.mu.Unlock()
+		fn()
+		return
+	}
+	t.callbacks = append(t.callbacks, fn)
+	t.mu.Unlock()
+}
+
+// Cancel attempts to cancel the task before it runs. It returns true when
+// the task will never execute (its future completes with ErrCancelled);
+// false when the task is already running or finished.
+func (t *Task[T]) Cancel() bool {
+	if t.state.CompareAndSwap(stateWaiting, stateCancelled) ||
+		t.state.CompareAndSwap(stateQueued, stateCancelled) {
+		var zero T
+		t.complete(stateCancelled, zero, ErrCancelled)
+		return true
+	}
+	return false
+}
+
+// Cancelled reports whether the task was cancelled.
+func (t *Task[T]) Cancelled() bool { return t.state.Load() == stateCancelled }
+
+// Done returns a channel closed when the task completes (or is cancelled).
+func (t *Task[T]) Done() <-chan struct{} { return t.fut.Done() }
+
+// IsDone reports completion without blocking.
+func (t *Task[T]) IsDone() bool { return t.fut.IsDone() }
+
+// Result joins the task: it blocks until completion and returns the value
+// and error. Called from inside another task it helps the pool, so
+// arbitrary recursive joins are safe.
+func (t *Task[T]) Result() (T, error) {
+	t.rt.await(t.fut.Done())
+	return t.fut.Get()
+}
+
+// Notify registers a completion handler delivered on the runtime's event
+// loop (or inline when none is registered). Registering after completion
+// delivers immediately. Multiple handlers are allowed.
+func (t *Task[T]) Notify(fn func(T, error)) {
+	t.onDone(func() {
+		v, err := t.fut.Get()
+		t.rt.dispatch(func() { fn(v, err) })
+	})
+}
+
+// MultiTask is Parallel Task's TASK(*): one logical task expanded into n
+// sub-tasks, with per-element interim results and an aggregate join.
+type MultiTask[T any] struct {
+	rt        *Runtime
+	tasks     []*Task[T]
+	agg       *core.Future[[]T]
+	remaining atomic.Int32
+
+	mu        sync.Mutex
+	callbacks []func()
+}
+
+// RunMulti launches fn(i) for every i in [0, n) as sub-tasks and returns
+// the multi-task handle. n of zero yields an immediately-complete handle.
+func RunMulti[T any](rt *Runtime, n int, fn func(i int) (T, error)) *MultiTask[T] {
+	m := &MultiTask[T]{rt: rt, agg: core.NewFuture[[]T]()}
+	m.remaining.Store(int32(n))
+	if n == 0 {
+		m.agg.Complete(nil, nil)
+		return m
+	}
+	m.tasks = make([]*Task[T], n)
+	for i := 0; i < n; i++ {
+		i := i
+		m.tasks[i] = Run(rt, func() (T, error) { return fn(i) })
+		m.tasks[i].onDone(m.subDone)
+	}
+	return m
+}
+
+func (m *MultiTask[T]) subDone() {
+	if m.remaining.Add(-1) != 0 {
+		return
+	}
+	vals := make([]T, len(m.tasks))
+	var firstErr error
+	for i, t := range m.tasks {
+		v, err := t.fut.Get()
+		vals[i] = v
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	m.agg.Complete(vals, firstErr)
+	m.mu.Lock()
+	cbs := m.callbacks
+	m.callbacks = nil
+	m.mu.Unlock()
+	for _, cb := range cbs {
+		cb()
+	}
+}
+
+// onDone implements Dep.
+func (m *MultiTask[T]) onDone(fn func()) {
+	m.mu.Lock()
+	if m.agg.IsDone() {
+		m.mu.Unlock()
+		fn()
+		return
+	}
+	m.callbacks = append(m.callbacks, fn)
+	m.mu.Unlock()
+}
+
+// Tasks returns the sub-task handles (nil for an empty multi-task).
+func (m *MultiTask[T]) Tasks() []*Task[T] { return m.tasks }
+
+// Done returns a channel closed when every sub-task has completed.
+func (m *MultiTask[T]) Done() <-chan struct{} { return m.agg.Done() }
+
+// Results joins all sub-tasks and returns their values in element order,
+// along with the first error encountered (nil when all succeeded).
+func (m *MultiTask[T]) Results() ([]T, error) {
+	m.rt.await(m.agg.Done())
+	return m.agg.Get()
+}
+
+// NotifyEach registers an interim-result handler invoked (on the event
+// loop, when registered) as each sub-task completes — the mechanism the
+// thumbnail and search projects use to display results while computation
+// continues.
+func (m *MultiTask[T]) NotifyEach(fn func(i int, v T, err error)) {
+	for i, t := range m.tasks {
+		i, t := i, t
+		t.Notify(func(v T, err error) { fn(i, v, err) })
+	}
+}
+
+// Cancel attempts to cancel every sub-task that has not yet started and
+// returns how many were cancelled. Running and finished sub-tasks are
+// unaffected; their results remain available. This is the "stop the
+// search" button of the interactive projects.
+func (m *MultiTask[T]) Cancel() int {
+	n := 0
+	for _, t := range m.tasks {
+		if t.Cancel() {
+			n++
+		}
+	}
+	return n
+}
+
+// Notify registers an aggregate completion handler on the event loop.
+func (m *MultiTask[T]) Notify(fn func([]T, error)) {
+	m.onDone(func() {
+		v, err := m.agg.Get()
+		m.rt.dispatch(func() { fn(v, err) })
+	})
+}
+
+// Then chains a continuation: it returns a task that runs fn with t's
+// value after t completes. If t failed, fn is skipped and the error
+// propagates — the monadic composition students reach for when wiring
+// task pipelines.
+func Then[T, U any](t *Task[T], fn func(T) (U, error)) *Task[U] {
+	return RunAfter(t.rt, []Dep{t}, func() (U, error) {
+		v, err := t.Result()
+		if err != nil {
+			var zero U
+			return zero, err
+		}
+		return fn(v)
+	})
+}
+
+// Invoke is a convenience for void tasks: it wraps fn in a Task[struct{}].
+func Invoke(rt *Runtime, fn func() error) *Task[struct{}] {
+	return Run(rt, func() (struct{}, error) { return struct{}{}, fn() })
+}
+
+// WaitAll joins a set of dependences, helping the pool when called from a
+// worker. It is the bulk barrier used by fork-join style code.
+func WaitAll(rt *Runtime, deps ...Dep) {
+	if len(deps) == 0 {
+		return
+	}
+	done := make(chan struct{})
+	var remaining atomic.Int32
+	remaining.Store(int32(len(deps)))
+	for _, d := range deps {
+		d.onDone(func() {
+			if remaining.Add(-1) == 0 {
+				close(done)
+			}
+		})
+	}
+	rt.await(done)
+}

@@ -1,0 +1,79 @@
+package pyjama
+
+import (
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestFor2DCoversEveryCell(t *testing.T) {
+	const n1, n2 = 13, 17
+	var counts [n1][n2]atomic.Int32
+	Parallel(4, func(tc *TC) {
+		tc.For2D(n1, n2, Dynamic(8), func(i, j int) {
+			counts[i][j].Add(1)
+		})
+	})
+	for i := 0; i < n1; i++ {
+		for j := 0; j < n2; j++ {
+			if counts[i][j].Load() != 1 {
+				t.Fatalf("cell (%d,%d) executed %d times", i, j, counts[i][j].Load())
+			}
+		}
+	}
+}
+
+func TestFor2DProperty(t *testing.T) {
+	f := func(aRaw, bRaw, tRaw uint8) bool {
+		n1, n2 := int(aRaw%12)+1, int(bRaw%12)+1
+		threads := int(tRaw%6) + 1
+		var total atomic.Int64
+		Parallel(threads, func(tc *TC) {
+			tc.For2D(n1, n2, Guided(2), func(i, j int) {
+				total.Add(int64(i*n2 + j + 1))
+			})
+		})
+		n := int64(n1 * n2)
+		return total.Load() == n*(n+1)/2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFor2DDegenerate(t *testing.T) {
+	ran := false
+	Parallel(3, func(tc *TC) {
+		tc.For2D(0, 5, Static(0), func(i, j int) { ran = true })
+		tc.For2D(5, 0, Static(0), func(i, j int) { ran = true })
+		// A later loop must still pair correctly across the team after
+		// degenerate constructs consumed worksharing slots.
+		tc.For(30, Dynamic(4), func(i int) {})
+	})
+	if ran {
+		t.Fatal("degenerate 2D loop ran its body")
+	}
+}
+
+func TestForRange(t *testing.T) {
+	var sum atomic.Int64
+	Parallel(3, func(tc *TC) {
+		tc.ForRange(10, 20, Static(0), func(i int) {
+			if i < 10 || i >= 20 {
+				t.Errorf("index %d out of range", i)
+			}
+			sum.Add(int64(i))
+		})
+	})
+	if sum.Load() != 145 {
+		t.Fatalf("sum = %d", sum.Load())
+	}
+}
+
+func BenchmarkFor2D(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		Parallel(4, func(tc *TC) {
+			tc.For2D(100, 100, Static(0), func(i, j int) {})
+		})
+	}
+}

@@ -1,0 +1,70 @@
+package pyjama
+
+import (
+	"sync"
+
+	"parc751/internal/reduction"
+)
+
+// redState is the team-shared state of one reduction construct instance.
+type redState struct {
+	mu       sync.Mutex
+	partials []any
+	filled   []bool
+}
+
+// red fetches or creates the shared reduction state for this thread's
+// next reduction construct, mirroring the loop-slot pairing.
+func (tc *TC) red() *redState {
+	slot := tc.redCount
+	tc.redCount++
+	r := tc.reg
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if rs, ok := r.reds[slot]; ok {
+		return rs
+	}
+	rs := &redState{partials: make([]any, r.n), filled: make([]bool, r.n)}
+	r.reds[slot] = rs
+	return rs
+}
+
+// ForReduce is "#omp for reduction(op:var)": it workshares [0, n) over the
+// team with the given schedule, folds each thread's iterations into a
+// thread-private accumulator, combines the per-thread partials in
+// deterministic thread order, barriers, and returns the combined value to
+// every team member. body receives the iteration index and the thread's
+// current accumulator and returns the updated accumulator.
+//
+// Because Go methods cannot carry type parameters, ForReduce is a free
+// function over the thread context.
+func ForReduce[T any](tc *TC, n int, sched Schedule, r reduction.Reducer[T], body func(i int, acc T) T) T {
+	rs := tc.red()
+	acc := r.Identity()
+	tc.ForNoWait(n, sched, func(i int) { acc = body(i, acc) })
+	rs.mu.Lock()
+	rs.partials[tc.id] = acc
+	rs.filled[tc.id] = true
+	rs.mu.Unlock()
+	tc.Barrier()
+	// After the barrier every partial is visible; every thread combines
+	// in thread order so all see the same deterministic value.
+	combined := r.Identity()
+	for id := 0; id < tc.reg.n; id++ {
+		if rs.filled[id] {
+			combined = r.Combine(combined, rs.partials[id].(T))
+		}
+	}
+	return combined
+}
+
+// ParallelForReduce is the combined "#omp parallel for reduction"
+// convenience: team creation, worksharing, reduction, join.
+func ParallelForReduce[T any](nthreads, n int, sched Schedule, r reduction.Reducer[T], body func(i int, acc T) T) T {
+	var out T
+	Parallel(nthreads, func(tc *TC) {
+		v := ForReduce(tc, n, sched, r, body)
+		tc.Master(func() { out = v })
+	})
+	return out
+}

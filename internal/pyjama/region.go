@@ -1,0 +1,209 @@
+// Package pyjama reproduces Pyjama, the PARC lab's OpenMP-like
+// directive system for object-oriented languages (Vikas, Giacaman &
+// Sinnen, Parallel Computing 2013; §IV-B of the reproduced paper).
+// Where the Java original compiles //#omp directives, this Go
+// reproduction provides the directive semantics as library calls:
+//
+//	pyjama.Parallel(4, func(tc *pyjama.TC) {     // #omp parallel
+//	    tc.For(n, pyjama.Dynamic(16), func(i int) { work(i) })
+//	    tc.Barrier()                             // #omp barrier
+//	    tc.Single(func() { fmt.Println("once") })// #omp single
+//	    tc.Critical("io", func() { log() })      // #omp critical(io)
+//	})
+//
+// The SPMD contract of OpenMP carries over: every thread in a team
+// executes the region body and encounters the worksharing constructs in
+// the same sequence. Reductions — including the object-oriented
+// reductions the paper highlights as a research outcome (§V-B) — live in
+// reduce.go, and the GUI-aware region (Pyjama's freeguithread/virtual
+// directives) in gui.go.
+package pyjama
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"parc751/internal/core"
+)
+
+// TC is a thread context: the view one team member has of its parallel
+// region. A TC is only valid inside the body it was passed to and must
+// not be shared across team members.
+type TC struct {
+	id  int
+	reg *region
+	// wsCount numbers the worksharing constructs this thread has
+	// encountered, pairing SPMD call sites across the team.
+	wsCount int
+	// singleCount numbers the single/sections constructs likewise.
+	singleCount int
+	// redCount numbers the reduction constructs likewise.
+	redCount int
+}
+
+type region struct {
+	n       int
+	barrier *core.Barrier
+
+	mu       sync.Mutex
+	loops    map[int]*loopState
+	singles  map[int]bool
+	reds     map[int]*redState
+	critical map[string]*sync.Mutex
+}
+
+// Parallel executes body on a team of nthreads concurrent members — the
+// "#omp parallel num_threads(n)" construct, with the implicit join at the
+// region end. nthreads < 1 is clamped to 1. A panic in any team member is
+// re-raised on the caller after all members finish.
+func Parallel(nthreads int, body func(tc *TC)) {
+	if nthreads < 1 {
+		nthreads = 1
+	}
+	reg := &region{
+		n:        nthreads,
+		barrier:  core.NewBarrier(nthreads),
+		loops:    map[int]*loopState{},
+		singles:  map[int]bool{},
+		reds:     map[int]*redState{},
+		critical: map[string]*sync.Mutex{},
+	}
+	errs := make([]error, nthreads)
+	var wg sync.WaitGroup
+	wg.Add(nthreads)
+	for i := 0; i < nthreads; i++ {
+		i := i
+		go func() {
+			defer wg.Done()
+			errs[i] = core.Catch(func() { body(&TC{id: i, reg: reg}) })
+			if errs[i] != nil {
+				// A dead member can never reach the team's barriers;
+				// abort so siblings blocked there fail fast instead of
+				// deadlocking.
+				reg.barrier.Abort()
+			}
+		}()
+	}
+	wg.Wait()
+	// Re-raise the root cause, preferring a member's own panic over the
+	// ErrBarrierAborted cascade it triggered in its siblings.
+	var cascade error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		var pe *core.PanicError
+		if errors.As(err, &pe) && pe.Value == core.ErrBarrierAborted {
+			cascade = err
+			continue
+		}
+		panic(err)
+	}
+	if cascade != nil {
+		panic(cascade)
+	}
+}
+
+// ThreadNum returns this member's index in [0, NumThreads) — OpenMP's
+// omp_get_thread_num.
+func (tc *TC) ThreadNum() int { return tc.id }
+
+// NumThreads returns the team size — omp_get_num_threads.
+func (tc *TC) NumThreads() int { return tc.reg.n }
+
+// Barrier blocks until every team member reaches it — "#omp barrier".
+func (tc *TC) Barrier() { tc.reg.barrier.Await() }
+
+// Master runs fn on thread 0 only, with no implied barrier — "#omp master".
+func (tc *TC) Master(fn func()) {
+	if tc.id == 0 {
+		fn()
+	}
+}
+
+// Single runs fn on exactly one (the first-arriving) team member and then
+// barriers the team — "#omp single".
+func (tc *TC) Single(fn func()) {
+	tc.SingleNoWait(fn)
+	tc.Barrier()
+}
+
+// SingleNoWait is "#omp single nowait": exactly one member runs fn and the
+// rest continue immediately. It reports whether this member was the one.
+func (tc *TC) SingleNoWait(fn func()) bool {
+	slot := tc.singleCount
+	tc.singleCount++
+	tc.reg.mu.Lock()
+	claimed := tc.reg.singles[slot]
+	if !claimed {
+		tc.reg.singles[slot] = true
+	}
+	tc.reg.mu.Unlock()
+	if !claimed {
+		fn()
+		return true
+	}
+	return false
+}
+
+// Critical runs fn under the named region-wide lock — "#omp critical(name)".
+// Different names are independent locks, as in OpenMP.
+func (tc *TC) Critical(name string, fn func()) {
+	tc.reg.mu.Lock()
+	m, ok := tc.reg.critical[name]
+	if !ok {
+		m = &sync.Mutex{}
+		tc.reg.critical[name] = m
+	}
+	tc.reg.mu.Unlock()
+	m.Lock()
+	defer m.Unlock()
+	fn()
+}
+
+// Sections distributes the given section bodies over the team, each
+// executed exactly once, followed by the implicit barrier —
+// "#omp sections". Sections are handed out dynamically.
+func (tc *TC) Sections(fns ...func()) {
+	tc.ForNoWait(len(fns), Dynamic(1), func(i int) { fns[i]() })
+	tc.Barrier()
+}
+
+// ThreadPrivate is a fixed-size per-thread storage array — the pattern
+// OpenMP's threadprivate clause provides. Index it with ThreadNum. The
+// slots are padded to defeat false sharing on real hardware.
+type ThreadPrivate[T any] struct {
+	slots []paddedSlot[T]
+}
+
+type paddedSlot[T any] struct {
+	v T
+	_ [64]byte
+}
+
+// NewThreadPrivate allocates storage for a team of n threads.
+func NewThreadPrivate[T any](n int) *ThreadPrivate[T] {
+	return &ThreadPrivate[T]{slots: make([]paddedSlot[T], n)}
+}
+
+// Get returns a pointer to thread id's slot.
+func (tp *ThreadPrivate[T]) Get(id int) *T { return &tp.slots[id].v }
+
+// Len returns the number of slots.
+func (tp *ThreadPrivate[T]) Len() int { return len(tp.slots) }
+
+// Values returns a snapshot of all slots in thread order. Call only after
+// the region (or at a barrier) — it does not synchronise.
+func (tp *ThreadPrivate[T]) Values() []T {
+	out := make([]T, len(tp.slots))
+	for i := range tp.slots {
+		out[i] = tp.slots[i].v
+	}
+	return out
+}
+
+// String implements fmt.Stringer for debugging.
+func (tc *TC) String() string {
+	return fmt.Sprintf("pyjama.TC(%d/%d)", tc.id, tc.reg.n)
+}

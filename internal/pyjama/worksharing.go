@@ -1,0 +1,243 @@
+package pyjama
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"parc751/internal/core"
+)
+
+// ScheduleKind selects the OpenMP loop schedule.
+type ScheduleKind int
+
+// The loop schedules of OpenMP 2.5, which is the feature level Pyjama
+// implements.
+const (
+	KindStatic ScheduleKind = iota
+	KindDynamic
+	KindGuided
+	KindAuto
+	KindRuntime
+)
+
+// String names the schedule kind.
+func (k ScheduleKind) String() string {
+	switch k {
+	case KindStatic:
+		return "static"
+	case KindDynamic:
+		return "dynamic"
+	case KindGuided:
+		return "guided"
+	case KindAuto:
+		return "auto"
+	case KindRuntime:
+		return "runtime"
+	default:
+		return "unknown"
+	}
+}
+
+// Schedule is a loop schedule: a kind plus a chunk size (0 means the
+// kind's default — for static, one contiguous block per thread; for
+// dynamic and guided, a minimum chunk of 1).
+type Schedule struct {
+	Kind  ScheduleKind
+	Chunk int
+}
+
+// Static returns schedule(static, chunk); chunk 0 means block-per-thread.
+func Static(chunk int) Schedule { return Schedule{KindStatic, chunk} }
+
+// Dynamic returns schedule(dynamic, chunk).
+func Dynamic(chunk int) Schedule { return Schedule{KindDynamic, chunk} }
+
+// Guided returns schedule(guided, minChunk).
+func Guided(minChunk int) Schedule { return Schedule{KindGuided, minChunk} }
+
+// Auto returns schedule(auto); this implementation maps it to static.
+func Auto() Schedule { return Schedule{KindAuto, 0} }
+
+// Runtime returns schedule(runtime): the schedule set via
+// SetRuntimeSchedule (OpenMP's OMP_SCHEDULE).
+func Runtime() Schedule { return Schedule{KindRuntime, 0} }
+
+var runtimeSchedule atomic.Value // Schedule
+
+func init() { runtimeSchedule.Store(Static(0)) }
+
+// SetRuntimeSchedule sets the schedule used by Runtime(), like the
+// OMP_SCHEDULE environment variable. Kind Runtime itself is rejected to
+// avoid recursion and maps to static.
+func SetRuntimeSchedule(s Schedule) {
+	if s.Kind == KindRuntime {
+		s = Static(0)
+	}
+	runtimeSchedule.Store(s)
+}
+
+// RuntimeSchedule returns the schedule Runtime() currently resolves to.
+func RuntimeSchedule() Schedule { return runtimeSchedule.Load().(Schedule) }
+
+func (s Schedule) resolve() Schedule {
+	switch s.Kind {
+	case KindRuntime:
+		return RuntimeSchedule()
+	case KindAuto:
+		return Static(s.Chunk)
+	default:
+		return s
+	}
+}
+
+// loopState is the team-shared state of one worksharing loop instance.
+type loopState struct {
+	n     int
+	sched Schedule
+
+	next atomic.Int64 // dynamic: next unclaimed index
+
+	gmu       sync.Mutex // guided
+	remaining int
+
+	omu   sync.Mutex // ordered section sequencing
+	ocond *sync.Cond
+	onext int
+}
+
+// loop fetches or creates the shared state for this thread's next
+// worksharing construct. The SPMD contract guarantees all threads pass
+// the same (n, sched) for the same slot; the first arrival wins.
+func (tc *TC) loop(n int, sched Schedule) *loopState {
+	slot := tc.wsCount
+	tc.wsCount++
+	r := tc.reg
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if ls, ok := r.loops[slot]; ok {
+		return ls
+	}
+	ls := &loopState{n: n, sched: sched.resolve(), remaining: n}
+	ls.ocond = sync.NewCond(&ls.omu)
+	r.loops[slot] = ls
+	return ls
+}
+
+// For executes body(i) for every i in [0, n) distributed over the team
+// per the schedule, then barriers — "#omp for". Every team member must
+// call it (SPMD).
+func (tc *TC) For(n int, sched Schedule, body func(i int)) {
+	tc.ForNoWait(n, sched, body)
+	tc.Barrier()
+}
+
+// ForNoWait is "#omp for nowait": no barrier at loop end.
+func (tc *TC) ForNoWait(n int, sched Schedule, body func(i int)) {
+	tc.forEachChunk(n, sched, func(c core.Chunk) {
+		for i := c.Lo; i < c.Hi; i++ {
+			body(i)
+		}
+	})
+}
+
+// ForChunked hands the body whole chunks instead of single indices, which
+// the kernels use to amortise per-iteration overhead. Implicit barrier.
+func (tc *TC) ForChunked(n int, sched Schedule, body func(lo, hi int)) {
+	tc.forEachChunk(n, sched, func(c core.Chunk) { body(c.Lo, c.Hi) })
+	tc.Barrier()
+}
+
+func (tc *TC) forEachChunk(n int, sched Schedule, run func(core.Chunk)) {
+	ls := tc.loop(n, sched)
+	if n <= 0 {
+		return
+	}
+	switch ls.sched.Kind {
+	case KindStatic:
+		if ls.sched.Chunk <= 0 {
+			// Block decomposition: at most one chunk per thread.
+			chunks := core.StaticChunks(n, tc.reg.n)
+			if tc.id < len(chunks) {
+				run(chunks[tc.id])
+			}
+			return
+		}
+		// Block-cyclic: thread t takes chunks t, t+T, t+2T, ...
+		chunks := core.BlockChunks(n, ls.sched.Chunk)
+		for ci := tc.id; ci < len(chunks); ci += tc.reg.n {
+			run(chunks[ci])
+		}
+	case KindDynamic:
+		chunk := ls.sched.Chunk
+		if chunk <= 0 {
+			chunk = 1
+		}
+		for {
+			lo := int(ls.next.Add(int64(chunk))) - chunk
+			if lo >= n {
+				return
+			}
+			hi := lo + chunk
+			if hi > n {
+				hi = n
+			}
+			run(core.Chunk{Lo: lo, Hi: hi})
+		}
+	case KindGuided:
+		minChunk := ls.sched.Chunk
+		if minChunk <= 0 {
+			minChunk = 1
+		}
+		for {
+			ls.gmu.Lock()
+			if ls.remaining == 0 {
+				ls.gmu.Unlock()
+				return
+			}
+			size := ls.remaining / tc.reg.n
+			if size < minChunk {
+				size = minChunk
+			}
+			if size > ls.remaining {
+				size = ls.remaining
+			}
+			lo := ls.n - ls.remaining
+			ls.remaining -= size
+			ls.gmu.Unlock()
+			run(core.Chunk{Lo: lo, Hi: lo + size})
+		}
+	default:
+		panic("pyjama: unresolved schedule kind")
+	}
+}
+
+// Ordered runs fn for iteration i strictly in iteration order across the
+// team — the "#omp ordered" region. It must be called exactly once per
+// iteration of an enclosing For whose body was given the iteration index,
+// and iterations must reach it in increasing order within each thread
+// (which all schedules here guarantee).
+func (tc *TC) Ordered(i int, fn func()) {
+	// The ordered sequence is tied to the most recent worksharing loop
+	// this thread entered; slot pairing gives all threads the same state.
+	slot := tc.wsCount - 1
+	if slot < 0 {
+		panic("pyjama: Ordered outside a worksharing loop")
+	}
+	tc.reg.mu.Lock()
+	ls := tc.reg.loops[slot]
+	tc.reg.mu.Unlock()
+	ls.omu.Lock()
+	for ls.onext != i {
+		ls.ocond.Wait()
+	}
+	fn()
+	ls.onext++
+	ls.ocond.Broadcast()
+	ls.omu.Unlock()
+}
+
+// ParallelFor is the combined "#omp parallel for" convenience: it creates
+// a team of nthreads, workshares [0, n) with the schedule, and joins.
+func ParallelFor(nthreads, n int, sched Schedule, body func(i int)) {
+	Parallel(nthreads, func(tc *TC) { tc.ForNoWait(n, sched, body) })
+}

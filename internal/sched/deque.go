@@ -1,0 +1,120 @@
+// Package sched provides the scheduling substrate shared by the Parallel
+// Task runtime (internal/ptask) and the simulated multicore machine
+// (internal/machine): per-worker work-stealing deques, a global FIFO
+// queue, victim selection, and scheduler statistics.
+//
+// The Parallel Task paper [Giacaman & Sinnen, IJPP 2013] describes a
+// work-stealing runtime: each worker pushes and pops its own tasks LIFO
+// (good locality, depth-first on recursive decompositions) while idle
+// workers steal FIFO from the opposite end (breadth-first, stealing the
+// largest remaining subtrees). Both disciplines are implemented here.
+package sched
+
+import "sync"
+
+// Deque is a double-ended work queue. The owner worker uses PushBottom and
+// PopBottom (LIFO); thieves use Steal, which removes from the top (FIFO
+// relative to the owner's pushes).
+//
+// The implementation is a mutex-protected ring buffer rather than the
+// lock-free Chase-Lev algorithm. The mutex version is correct under the Go
+// memory model without unsafe code, is plenty fast for the granularities
+// in this reproduction, and keeps the invariants testable; the scheduling
+// *policy* (LIFO owner / FIFO thief) — which is what the experiments
+// measure — is identical.
+type Deque[T any] struct {
+	mu    sync.Mutex
+	buf   []T
+	head  int // index of the oldest element (steal end)
+	size  int
+	stats DequeStats
+}
+
+// DequeStats counts deque traffic; read via Stats after a run.
+type DequeStats struct {
+	Pushes      int64
+	Pops        int64
+	Steals      int64
+	FailedPops  int64
+	FailedSteal int64
+}
+
+// NewDeque returns an empty deque with the given initial capacity
+// (minimum 2).
+func NewDeque[T any](capacity int) *Deque[T] {
+	if capacity < 2 {
+		capacity = 2
+	}
+	return &Deque[T]{buf: make([]T, capacity)}
+}
+
+// Len reports the current number of queued items.
+func (d *Deque[T]) Len() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.size
+}
+
+// PushBottom adds an item at the owner's end.
+func (d *Deque[T]) PushBottom(v T) {
+	d.mu.Lock()
+	if d.size == len(d.buf) {
+		d.grow()
+	}
+	d.buf[(d.head+d.size)%len(d.buf)] = v
+	d.size++
+	d.stats.Pushes++
+	d.mu.Unlock()
+}
+
+// PopBottom removes and returns the most recently pushed item (LIFO).
+// The second result is false if the deque was empty.
+func (d *Deque[T]) PopBottom() (T, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var zero T
+	if d.size == 0 {
+		d.stats.FailedPops++
+		return zero, false
+	}
+	d.size--
+	idx := (d.head + d.size) % len(d.buf)
+	v := d.buf[idx]
+	d.buf[idx] = zero
+	d.stats.Pops++
+	return v, true
+}
+
+// Steal removes and returns the oldest item (FIFO end), as a thief would.
+// The second result is false if the deque was empty.
+func (d *Deque[T]) Steal() (T, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var zero T
+	if d.size == 0 {
+		d.stats.FailedSteal++
+		return zero, false
+	}
+	v := d.buf[d.head]
+	d.buf[d.head] = zero
+	d.head = (d.head + 1) % len(d.buf)
+	d.size--
+	d.stats.Steals++
+	return v, true
+}
+
+// Stats returns a snapshot of the deque's traffic counters.
+func (d *Deque[T]) Stats() DequeStats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.stats
+}
+
+func (d *Deque[T]) grow() {
+	nb := make([]T, 2*len(d.buf))
+	for i := 0; i < d.size; i++ {
+		nb[i] = d.buf[(d.head+i)%len(d.buf)]
+	}
+	d.buf = nb
+	d.head = 0
+}

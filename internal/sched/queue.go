@@ -1,0 +1,127 @@
+package sched
+
+import "sync"
+
+// FIFO is a mutex-protected unbounded FIFO queue: the "global queue"
+// baseline that the work-stealing ablation (A1 in DESIGN.md) compares
+// against. Every worker contends on one lock, which is exactly the
+// bottleneck the ablation demonstrates.
+type FIFO[T any] struct {
+	mu   sync.Mutex
+	buf  []T
+	head int
+}
+
+// Push appends v to the tail of the queue.
+func (q *FIFO[T]) Push(v T) {
+	q.mu.Lock()
+	q.buf = append(q.buf, v)
+	q.mu.Unlock()
+}
+
+// Pop removes the oldest element; ok is false when the queue is empty.
+func (q *FIFO[T]) Pop() (v T, ok bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.head == len(q.buf) {
+		var zero T
+		return zero, false
+	}
+	v = q.buf[q.head]
+	var zero T
+	q.buf[q.head] = zero
+	q.head++
+	// Reclaim space once the consumed prefix dominates.
+	if q.head > 64 && q.head*2 > len(q.buf) {
+		q.buf = append([]T(nil), q.buf[q.head:]...)
+		q.head = 0
+	}
+	return v, true
+}
+
+// Len reports the number of queued elements.
+func (q *FIFO[T]) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.buf) - q.head
+}
+
+// Victim selection: when a worker's own deque is empty it picks other
+// workers to steal from. The PARC runtime uses randomized victim selection;
+// RoundRobinVictims is the deterministic variant used by the simulator so
+// simulated schedules are reproducible.
+
+// VictimPicker yields a sequence of victim worker indices, excluding self.
+type VictimPicker interface {
+	// Next returns the next victim to try for the given thief.
+	Next(thief int) int
+}
+
+// RoundRobinVictims cycles deterministically through workers, skipping the
+// thief itself.
+type RoundRobinVictims struct {
+	n    int
+	mu   sync.Mutex
+	next []int
+}
+
+// NewRoundRobinVictims creates a picker for n workers. n must be >= 2 for
+// Next to make sense; with n == 1 Next returns 0.
+func NewRoundRobinVictims(n int) *RoundRobinVictims {
+	return &RoundRobinVictims{n: n, next: make([]int, n)}
+}
+
+// Next returns the next victim index for thief, never equal to thief when
+// more than one worker exists.
+func (rr *RoundRobinVictims) Next(thief int) int {
+	rr.mu.Lock()
+	defer rr.mu.Unlock()
+	if rr.n <= 1 {
+		return 0
+	}
+	v := rr.next[thief] % rr.n
+	if v == thief {
+		v = (v + 1) % rr.n
+	}
+	rr.next[thief] = v + 1
+	return v
+}
+
+// RandomVictims picks victims pseudo-randomly from a per-thief stream; the
+// streams are seeded deterministically so tests remain reproducible, but
+// the order is uncorrelated between thieves like the PARC runtime's.
+type RandomVictims struct {
+	n      int
+	mu     sync.Mutex
+	states []uint64
+}
+
+// NewRandomVictims creates a random picker for n workers seeded from seed.
+func NewRandomVictims(n int, seed uint64) *RandomVictims {
+	rv := &RandomVictims{n: n, states: make([]uint64, n)}
+	for i := range rv.states {
+		rv.states[i] = seed + uint64(i)*0x9E3779B97F4A7C15 + 1
+	}
+	return rv
+}
+
+// Next returns a pseudo-random victim for thief, never the thief itself
+// when more than one worker exists.
+func (rv *RandomVictims) Next(thief int) int {
+	rv.mu.Lock()
+	defer rv.mu.Unlock()
+	if rv.n <= 1 {
+		return 0
+	}
+	// xorshift64* step
+	x := rv.states[thief]
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	rv.states[thief] = x
+	v := int((x * 0x2545F4914F6CDD1D) >> 33 % uint64(rv.n))
+	if v == thief {
+		v = (v + 1) % rv.n
+	}
+	return v
+}

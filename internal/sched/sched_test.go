@@ -1,0 +1,354 @@
+package sched
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestDequeLIFOOwner(t *testing.T) {
+	d := NewDeque[int](4)
+	for i := 0; i < 10; i++ {
+		d.PushBottom(i)
+	}
+	for i := 9; i >= 0; i-- {
+		v, ok := d.PopBottom()
+		if !ok || v != i {
+			t.Fatalf("PopBottom = %d,%v want %d", v, ok, i)
+		}
+	}
+	if _, ok := d.PopBottom(); ok {
+		t.Fatal("pop from empty deque succeeded")
+	}
+}
+
+func TestDequeFIFOThief(t *testing.T) {
+	d := NewDeque[int](4)
+	for i := 0; i < 10; i++ {
+		d.PushBottom(i)
+	}
+	for i := 0; i < 10; i++ {
+		v, ok := d.Steal()
+		if !ok || v != i {
+			t.Fatalf("Steal = %d,%v want %d", v, ok, i)
+		}
+	}
+	if _, ok := d.Steal(); ok {
+		t.Fatal("steal from empty deque succeeded")
+	}
+}
+
+func TestDequeMixedEnds(t *testing.T) {
+	d := NewDeque[int](2)
+	d.PushBottom(1)
+	d.PushBottom(2)
+	d.PushBottom(3)
+	if v, _ := d.Steal(); v != 1 {
+		t.Fatalf("steal got %d, want 1", v)
+	}
+	if v, _ := d.PopBottom(); v != 3 {
+		t.Fatalf("pop got %d, want 3", v)
+	}
+	if v, _ := d.Steal(); v != 2 {
+		t.Fatalf("steal got %d, want 2", v)
+	}
+	if d.Len() != 0 {
+		t.Fatalf("Len = %d", d.Len())
+	}
+}
+
+func TestDequeGrowthPreservesOrder(t *testing.T) {
+	// Force wrap-around then growth: interleave pushes and steals.
+	d := NewDeque[int](4)
+	next := 0
+	expectSteal := 0
+	for round := 0; round < 50; round++ {
+		for i := 0; i < 3; i++ {
+			d.PushBottom(next)
+			next++
+		}
+		v, ok := d.Steal()
+		if !ok || v != expectSteal {
+			t.Fatalf("round %d: steal = %d,%v want %d", round, v, ok, expectSteal)
+		}
+		expectSteal++
+	}
+	// Drain remaining with steals: must be strictly increasing.
+	prev := expectSteal - 1
+	for {
+		v, ok := d.Steal()
+		if !ok {
+			break
+		}
+		if v != prev+1 {
+			t.Fatalf("steal order broken: got %d after %d", v, prev)
+		}
+		prev = v
+	}
+}
+
+// Property: any interleaving of pushes, pops and steals conserves elements
+// (no loss, no duplication).
+func TestDequeConservation(t *testing.T) {
+	f := func(ops []uint8) bool {
+		d := NewDeque[int](2)
+		pushed := map[int]bool{}
+		removed := map[int]bool{}
+		next := 0
+		for _, op := range ops {
+			switch op % 3 {
+			case 0:
+				d.PushBottom(next)
+				pushed[next] = true
+				next++
+			case 1:
+				if v, ok := d.PopBottom(); ok {
+					if removed[v] || !pushed[v] {
+						return false
+					}
+					removed[v] = true
+				}
+			case 2:
+				if v, ok := d.Steal(); ok {
+					if removed[v] || !pushed[v] {
+						return false
+					}
+					removed[v] = true
+				}
+			}
+		}
+		for {
+			v, ok := d.PopBottom()
+			if !ok {
+				break
+			}
+			if removed[v] || !pushed[v] {
+				return false
+			}
+			removed[v] = true
+		}
+		return len(removed) == len(pushed)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDequeConcurrentOwnerAndThieves(t *testing.T) {
+	d := NewDeque[int](8)
+	const n = 10000
+	var got sync.Map
+	var wg sync.WaitGroup
+	// Owner pushes then pops half.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < n; i++ {
+			d.PushBottom(i)
+			if i%2 == 1 {
+				if v, ok := d.PopBottom(); ok {
+					if _, dup := got.LoadOrStore(v, true); dup {
+						t.Errorf("duplicate element %d", v)
+					}
+				}
+			}
+		}
+	}()
+	// Thieves steal concurrently.
+	for th := 0; th < 4; th++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < n; i++ {
+				if v, ok := d.Steal(); ok {
+					if _, dup := got.LoadOrStore(v, true); dup {
+						t.Errorf("duplicate stolen element %d", v)
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	// Drain the rest.
+	for {
+		v, ok := d.PopBottom()
+		if !ok {
+			break
+		}
+		if _, dup := got.LoadOrStore(v, true); dup {
+			t.Errorf("duplicate drained element %d", v)
+		}
+	}
+	count := 0
+	got.Range(func(_, _ any) bool { count++; return true })
+	if count != n {
+		t.Fatalf("conserved %d of %d elements", count, n)
+	}
+}
+
+func TestDequeStats(t *testing.T) {
+	d := NewDeque[int](2)
+	d.PushBottom(1)
+	d.PushBottom(2)
+	d.PopBottom()
+	d.Steal()
+	d.Steal() // fails
+	d.PopBottom()
+	s := d.Stats()
+	if s.Pushes != 2 || s.Pops != 1 || s.Steals != 1 || s.FailedSteal != 1 || s.FailedPops != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestFIFOOrder(t *testing.T) {
+	var q FIFO[string]
+	q.Push("a")
+	q.Push("b")
+	q.Push("c")
+	if q.Len() != 3 {
+		t.Fatalf("Len = %d", q.Len())
+	}
+	for _, want := range []string{"a", "b", "c"} {
+		v, ok := q.Pop()
+		if !ok || v != want {
+			t.Fatalf("Pop = %q,%v want %q", v, ok, want)
+		}
+	}
+	if _, ok := q.Pop(); ok {
+		t.Fatal("pop from empty FIFO succeeded")
+	}
+}
+
+func TestFIFOCompaction(t *testing.T) {
+	var q FIFO[int]
+	// Push and pop enough to trigger the compaction path.
+	for i := 0; i < 1000; i++ {
+		q.Push(i)
+	}
+	for i := 0; i < 900; i++ {
+		v, ok := q.Pop()
+		if !ok || v != i {
+			t.Fatalf("Pop = %d,%v want %d", v, ok, i)
+		}
+	}
+	for i := 1000; i < 1100; i++ {
+		q.Push(i)
+	}
+	for i := 900; i < 1100; i++ {
+		v, ok := q.Pop()
+		if !ok || v != i {
+			t.Fatalf("Pop = %d,%v want %d", v, ok, i)
+		}
+	}
+}
+
+func TestFIFOConcurrent(t *testing.T) {
+	var q FIFO[int]
+	const producers, perProducer = 4, 2500
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				q.Push(p*perProducer + i)
+			}
+		}(p)
+	}
+	wg.Wait()
+	seen := make(map[int]bool)
+	for {
+		v, ok := q.Pop()
+		if !ok {
+			break
+		}
+		if seen[v] {
+			t.Fatalf("duplicate %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != producers*perProducer {
+		t.Fatalf("got %d elements", len(seen))
+	}
+}
+
+func TestRoundRobinVictimsNeverSelf(t *testing.T) {
+	rr := NewRoundRobinVictims(5)
+	for thief := 0; thief < 5; thief++ {
+		seen := map[int]bool{}
+		for i := 0; i < 20; i++ {
+			v := rr.Next(thief)
+			if v == thief {
+				t.Fatalf("thief %d picked itself", thief)
+			}
+			if v < 0 || v >= 5 {
+				t.Fatalf("victim %d out of range", v)
+			}
+			seen[v] = true
+		}
+		if len(seen) != 4 {
+			t.Errorf("thief %d did not cycle all victims: %v", thief, seen)
+		}
+	}
+}
+
+func TestRoundRobinSingleWorker(t *testing.T) {
+	rr := NewRoundRobinVictims(1)
+	if v := rr.Next(0); v != 0 {
+		t.Fatalf("single-worker Next = %d", v)
+	}
+}
+
+func TestRandomVictimsNeverSelfAndCovers(t *testing.T) {
+	rv := NewRandomVictims(8, 42)
+	for thief := 0; thief < 8; thief++ {
+		seen := map[int]bool{}
+		for i := 0; i < 400; i++ {
+			v := rv.Next(thief)
+			if v == thief {
+				t.Fatalf("thief %d picked itself", thief)
+			}
+			seen[v] = true
+		}
+		if len(seen) < 6 {
+			t.Errorf("thief %d only saw victims %v", thief, seen)
+		}
+	}
+}
+
+func TestRandomVictimsDeterministic(t *testing.T) {
+	a := NewRandomVictims(4, 7)
+	b := NewRandomVictims(4, 7)
+	for i := 0; i < 100; i++ {
+		if a.Next(i%4) != b.Next(i%4) {
+			t.Fatal("same-seed pickers diverged")
+		}
+	}
+}
+
+func BenchmarkDequePushPop(b *testing.B) {
+	d := NewDeque[int](1024)
+	for i := 0; i < b.N; i++ {
+		d.PushBottom(i)
+		d.PopBottom()
+	}
+}
+
+func BenchmarkDequeSteal(b *testing.B) {
+	d := NewDeque[int](1024)
+	for i := 0; i < b.N; i++ {
+		d.PushBottom(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Steal()
+	}
+}
+
+func BenchmarkFIFO(b *testing.B) {
+	var q FIFO[int]
+	for i := 0; i < b.N; i++ {
+		q.Push(i)
+		q.Pop()
+	}
+}

@@ -1,0 +1,233 @@
+package sortalgo
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"parc751/internal/ptask"
+	"parc751/internal/workload"
+	"parc751/internal/xrand"
+)
+
+// checkSorted verifies output is sorted AND a permutation of the input.
+func checkSorted(t *testing.T, name string, orig, sorted []int) {
+	t.Helper()
+	if len(orig) != len(sorted) {
+		t.Fatalf("%s: length changed", name)
+	}
+	if !sort.IntsAreSorted(sorted) {
+		t.Fatalf("%s: output not sorted", name)
+	}
+	want := append([]int(nil), orig...)
+	sort.Ints(want)
+	for i := range want {
+		if sorted[i] != want[i] {
+			t.Fatalf("%s: not a permutation at %d: %d != %d", name, i, sorted[i], want[i])
+		}
+	}
+}
+
+func inputs() map[string][]int {
+	return map[string][]int{
+		"empty":        {},
+		"single":       {5},
+		"pair":         {9, 1},
+		"random":       workload.IntArray(1, 5000, 100000),
+		"duplicates":   workload.IntArray(2, 5000, 10),
+		"sorted":       workload.NearlySorted(3, 3000, 0),
+		"nearlySorted": workload.NearlySorted(4, 3000, 0.02),
+		"reversed":     reversed(3000),
+		"allEqual":     constant(2000, 7),
+	}
+}
+
+func reversed(n int) []int {
+	xs := make([]int, n)
+	for i := range xs {
+		xs[i] = n - i
+	}
+	return xs
+}
+
+func constant(n, v int) []int {
+	xs := make([]int, n)
+	for i := range xs {
+		xs[i] = v
+	}
+	return xs
+}
+
+func TestSequential(t *testing.T) {
+	for name, in := range inputs() {
+		xs := append([]int(nil), in...)
+		Sequential(xs)
+		checkSorted(t, "seq/"+name, in, xs)
+	}
+}
+
+func TestPTask(t *testing.T) {
+	rt := ptask.NewRuntime(4)
+	defer rt.Shutdown()
+	for name, in := range inputs() {
+		xs := append([]int(nil), in...)
+		PTask(rt, xs, 256)
+		checkSorted(t, "ptask/"+name, in, xs)
+	}
+}
+
+func TestPTaskSingleWorker(t *testing.T) {
+	rt := ptask.NewRuntime(1)
+	defer rt.Shutdown()
+	xs := workload.IntArray(9, 20000, 1000000)
+	orig := append([]int(nil), xs...)
+	PTask(rt, xs, 512)
+	checkSorted(t, "ptask/1worker", orig, xs)
+}
+
+func TestPyjama(t *testing.T) {
+	for name, in := range inputs() {
+		for _, threads := range []int{1, 2, 4} {
+			xs := append([]int(nil), in...)
+			Pyjama(threads, xs, 256)
+			checkSorted(t, "pyjama/"+name, in, xs)
+		}
+	}
+}
+
+func TestGoroutines(t *testing.T) {
+	for name, in := range inputs() {
+		xs := append([]int(nil), in...)
+		Goroutines(xs, 256, 6)
+		checkSorted(t, "goroutines/"+name, in, xs)
+	}
+}
+
+func TestGoroutinesZeroDepthIsSequential(t *testing.T) {
+	xs := workload.IntArray(5, 2000, 500)
+	orig := append([]int(nil), xs...)
+	Goroutines(xs, 256, 0)
+	checkSorted(t, "goroutines/depth0", orig, xs)
+}
+
+// Property: every implementation agrees with sort.Ints on random input.
+func TestAllImplementationsAgree(t *testing.T) {
+	rt := ptask.NewRuntime(2)
+	defer rt.Shutdown()
+	f := func(seed uint64, nRaw uint16) bool {
+		n := int(nRaw % 2000)
+		r := xrand.New(seed)
+		base := make([]int, n)
+		for i := range base {
+			base[i] = r.Intn(500) - 250
+		}
+		want := append([]int(nil), base...)
+		sort.Ints(want)
+
+		for _, sorter := range []func([]int){
+			Sequential,
+			func(xs []int) { PTask(rt, xs, 128) },
+			func(xs []int) { Pyjama(3, xs, 128) },
+			func(xs []int) { Goroutines(xs, 128, 4) },
+		} {
+			xs := append([]int(nil), base...)
+			sorter(xs)
+			for i := range want {
+				if xs[i] != want[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPartitionInvariant(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%200) + 2
+		r := xrand.New(seed)
+		xs := make([]int, n)
+		for i := range xs {
+			xs[i] = r.Intn(50)
+		}
+		p := partition(xs, 0, n-1)
+		if p < 0 || p >= n-1 {
+			return false
+		}
+		maxLeft := xs[0]
+		for _, v := range xs[:p+1] {
+			if v > maxLeft {
+				maxLeft = v
+			}
+		}
+		for _, v := range xs[p+1:] {
+			if v < maxLeft {
+				// Hoare partition guarantees left <= pivot <= right,
+				// so any right element below the left max breaks it.
+				for _, lv := range xs[:p+1] {
+					if v < lv {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLargeRandom(t *testing.T) {
+	rt := ptask.NewRuntime(4)
+	defer rt.Shutdown()
+	xs := workload.IntArray(42, 200000, 1<<30)
+	orig := append([]int(nil), xs...)
+	PTask(rt, xs, 2048)
+	checkSorted(t, "ptask/large", orig, xs)
+}
+
+func BenchmarkSequential100k(b *testing.B) {
+	base := workload.IntArray(7, 100000, 1<<30)
+	xs := make([]int, len(base))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(xs, base)
+		Sequential(xs)
+	}
+}
+
+func BenchmarkPTask100k(b *testing.B) {
+	rt := ptask.NewRuntime(4)
+	defer rt.Shutdown()
+	base := workload.IntArray(7, 100000, 1<<30)
+	xs := make([]int, len(base))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(xs, base)
+		PTask(rt, xs, 4096)
+	}
+}
+
+func BenchmarkPyjama100k(b *testing.B) {
+	base := workload.IntArray(7, 100000, 1<<30)
+	xs := make([]int, len(base))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(xs, base)
+		Pyjama(4, xs, 4096)
+	}
+}
+
+func BenchmarkGoroutines100k(b *testing.B) {
+	base := workload.IntArray(7, 100000, 1<<30)
+	xs := make([]int, len(base))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(xs, base)
+		Goroutines(xs, 4096, 8)
+	}
+}

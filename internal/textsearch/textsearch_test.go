@@ -1,0 +1,255 @@
+package textsearch
+
+import (
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"parc751/internal/eventloop"
+	"parc751/internal/ptask"
+	"parc751/internal/workload"
+)
+
+func newRT(t *testing.T, workers int) *ptask.Runtime {
+	t.Helper()
+	rt := ptask.NewRuntime(workers)
+	t.Cleanup(rt.Shutdown)
+	return rt
+}
+
+func TestSequentialFindsAllNeedles(t *testing.T) {
+	spec := workload.DefaultFolderSpec(5)
+	folder, needles := workload.GenFolder(spec)
+	got := Sequential(folder, Literal(spec.NeedleWord))
+	if len(got) != needles {
+		t.Fatalf("found %d matches, planted %d", len(got), needles)
+	}
+}
+
+func TestParallelMatchesSequential(t *testing.T) {
+	spec := workload.DefaultFolderSpec(6)
+	folder, _ := workload.GenFolder(spec)
+	want := Sequential(folder, Literal(spec.NeedleWord))
+	for _, workers := range []int{1, 2, 4} {
+		rt := ptask.NewRuntime(workers)
+		got := NewSearcher(rt).Search(folder, Literal(spec.NeedleWord), Options{})
+		rt.Shutdown()
+		if len(got) != len(want) {
+			t.Fatalf("w=%d: %d matches, want %d", workers, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("w=%d: match %d = %+v, want %+v (order not deterministic)", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestRegexpSearch(t *testing.T) {
+	folder := &workload.Folder{Files: []workload.TextFile{
+		{Path: "a.txt", Lines: []string{"alpha beta", "gamma delta", "beta999"}},
+		{Path: "b.txt", Lines: []string{"nothing here", "beta42 tail"}},
+	}}
+	m, err := CompileRegexp(`beta\d+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := Sequential(folder, m)
+	if len(got) != 2 {
+		t.Fatalf("regexp matches = %d, want 2", len(got))
+	}
+	if got[0].Path != "a.txt" || got[0].Line != 3 {
+		t.Fatalf("first match = %+v", got[0])
+	}
+	if got[1].Path != "b.txt" || got[1].Line != 2 {
+		t.Fatalf("second match = %+v", got[1])
+	}
+}
+
+func TestCompileRegexpError(t *testing.T) {
+	if _, err := CompileRegexp("("); err == nil {
+		t.Fatal("bad regexp compiled")
+	}
+}
+
+func TestLineNumbersOneBased(t *testing.T) {
+	folder := &workload.Folder{Files: []workload.TextFile{
+		{Path: "x", Lines: []string{"needle", "no", "needle"}},
+	}}
+	got := Sequential(folder, Literal("needle"))
+	if len(got) != 2 || got[0].Line != 1 || got[1].Line != 3 {
+		t.Fatalf("matches = %+v", got)
+	}
+}
+
+func TestStreamingDeliversEveryMatch(t *testing.T) {
+	rt := newRT(t, 4)
+	spec := workload.DefaultFolderSpec(7)
+	spec.NumFiles = 60
+	folder, needles := workload.GenFolder(spec)
+	var mu sync.Mutex
+	var streamed []Match
+	got := NewSearcher(rt).Search(folder, Literal(spec.NeedleWord), Options{
+		OnMatch: func(m Match) {
+			mu.Lock()
+			streamed = append(streamed, m)
+			mu.Unlock()
+		},
+	})
+	// Streaming callbacks ride notify handlers that may trail Results.
+	deadline := time.After(5 * time.Second)
+	for {
+		mu.Lock()
+		n := len(streamed)
+		mu.Unlock()
+		if n == needles {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("streamed %d of %d matches", n, needles)
+		case <-time.After(time.Millisecond):
+		}
+	}
+	if len(got) != needles {
+		t.Fatalf("returned %d of %d", len(got), needles)
+	}
+	// The streamed multiset equals the returned one.
+	key := func(m Match) string { return m.Path + ":" + m.Text }
+	a := make([]string, 0, needles)
+	b := make([]string, 0, needles)
+	for i := range got {
+		a = append(a, key(got[i]))
+		b = append(b, key(streamed[i]))
+	}
+	sort.Strings(a)
+	sort.Strings(b)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("streamed set differs at %d", i)
+		}
+	}
+}
+
+func TestStreamingOnEventLoop(t *testing.T) {
+	rt := newRT(t, 2)
+	loop := eventloop.New()
+	defer loop.Close()
+	rt.SetEventLoop(loop)
+	folder := &workload.Folder{Files: []workload.TextFile{
+		{Path: "x", Lines: []string{"needle here"}},
+	}}
+	onLoop := make(chan bool, 1)
+	NewSearcher(rt).Search(folder, Literal("needle"), Options{
+		OnMatch: func(m Match) { onLoop <- loop.OnDispatchThread() },
+	})
+	select {
+	case ok := <-onLoop:
+		if !ok {
+			t.Fatal("match not delivered on dispatch thread")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("match never streamed")
+	}
+}
+
+func TestUIResponsiveDuringSearch(t *testing.T) {
+	// The project's defining requirement: with the search running on the
+	// task pool, event-loop probes stay fast.
+	rt := newRT(t, 2)
+	loop := eventloop.New()
+	defer loop.Close()
+	rt.SetEventLoop(loop)
+	spec := workload.DefaultFolderSpec(9)
+	spec.NumFiles = 400
+	folder, _ := workload.GenFolder(spec)
+	done := make(chan struct{})
+	go func() {
+		NewSearcher(rt).Search(folder, Literal(spec.NeedleWord), Options{})
+		close(done)
+	}()
+	res := loop.Probe(500*time.Microsecond, 20)
+	<-done
+	if res.Max() > time.Second {
+		t.Errorf("UI latency %v while searching off-thread", res.Max())
+	}
+}
+
+func TestLimitStopsEarly(t *testing.T) {
+	rt := newRT(t, 2)
+	spec := workload.DefaultFolderSpec(11)
+	spec.NeedleRate = 0.2 // dense needles
+	folder, needles := workload.GenFolder(spec)
+	if needles < 100 {
+		t.Skip("workload did not generate enough needles")
+	}
+	got := NewSearcher(rt).Search(folder, Literal(spec.NeedleWord), Options{Limit: 10})
+	if len(got) < 10 {
+		t.Fatalf("limit search found %d, want >= 10", len(got))
+	}
+	if len(got) >= needles {
+		t.Fatalf("limit had no effect: %d of %d", len(got), needles)
+	}
+}
+
+func TestCount(t *testing.T) {
+	rt := newRT(t, 2)
+	spec := workload.DefaultFolderSpec(13)
+	folder, needles := workload.GenFolder(spec)
+	if got := NewSearcher(rt).Count(folder, Literal(spec.NeedleWord)); got != needles {
+		t.Fatalf("Count = %d, want %d", got, needles)
+	}
+}
+
+func TestNoMatches(t *testing.T) {
+	rt := newRT(t, 2)
+	folder := &workload.Folder{Files: []workload.TextFile{
+		{Path: "x", Lines: []string{"nothing"}},
+	}}
+	if got := NewSearcher(rt).Search(folder, Literal("absent-word"), Options{}); len(got) != 0 {
+		t.Fatalf("found %d phantom matches", len(got))
+	}
+}
+
+func TestEmptyFolder(t *testing.T) {
+	rt := newRT(t, 2)
+	got := NewSearcher(rt).Search(&workload.Folder{}, Literal("x"), Options{})
+	if len(got) != 0 {
+		t.Fatal("matches in empty folder")
+	}
+}
+
+func BenchmarkSequentialSearch(b *testing.B) {
+	spec := workload.DefaultFolderSpec(1)
+	folder, _ := workload.GenFolder(spec)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Sequential(folder, Literal(spec.NeedleWord))
+	}
+}
+
+func BenchmarkParallelSearch(b *testing.B) {
+	rt := ptask.NewRuntime(4)
+	defer rt.Shutdown()
+	spec := workload.DefaultFolderSpec(1)
+	folder, _ := workload.GenFolder(spec)
+	s := NewSearcher(rt)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Search(folder, Literal(spec.NeedleWord), Options{})
+	}
+}
+
+func BenchmarkRegexpSearch(b *testing.B) {
+	rt := ptask.NewRuntime(4)
+	defer rt.Shutdown()
+	spec := workload.DefaultFolderSpec(1)
+	folder, _ := workload.GenFolder(spec)
+	m, _ := CompileRegexp("concurrency[A-Z]+")
+	s := NewSearcher(rt)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Search(folder, m, Options{})
+	}
+}

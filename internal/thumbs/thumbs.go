@@ -1,0 +1,133 @@
+// Package thumbs is project 1 of the reproduced paper: "thumbnails of
+// images in a folder" — a GUI application that renders thumbnails for a
+// folder of images in parallel while the interface stays responsive. The
+// paper reports one student group comparing Java parallelisation
+// strategies (Parallel Task, raw threads, SwingWorker) with different
+// scheduling and input sizes; this package provides the same strategy
+// set over synthetic images:
+//
+//   - Sequential: scale every image on the calling thread (the baseline —
+//     and, run on the event thread, the anti-pattern that freezes a UI);
+//   - PTask: one Parallel Task sub-task per image with interim thumbnail
+//     delivery on the event loop (the TASK(*) expression);
+//   - WorkerPool: a fixed goroutine pool fed by a channel (the "Java
+//     threads" expression);
+//   - BackgroundWorker: a single background goroutine (the "SwingWorker"
+//     expression — responsive but unparallel).
+package thumbs
+
+import (
+	"sync"
+
+	"parc751/internal/ptask"
+	"parc751/internal/workload"
+)
+
+// Scale box-filters src down to exactly w×h. It is the pixel kernel every
+// strategy shares, deterministic for given inputs.
+func Scale(src *workload.Image, w, h int) *workload.Image {
+	if w < 1 || h < 1 {
+		panic("thumbs: target dimensions must be positive")
+	}
+	dst := &workload.Image{W: w, H: h, Pix: make([]uint8, w*h)}
+	for y := 0; y < h; y++ {
+		sy0 := y * src.H / h
+		sy1 := (y + 1) * src.H / h
+		if sy1 == sy0 {
+			sy1 = sy0 + 1
+		}
+		for x := 0; x < w; x++ {
+			sx0 := x * src.W / w
+			sx1 := (x + 1) * src.W / w
+			if sx1 == sx0 {
+				sx1 = sx0 + 1
+			}
+			sum, n := 0, 0
+			for sy := sy0; sy < sy1; sy++ {
+				row := src.Pix[sy*src.W : sy*src.W+src.W]
+				for sx := sx0; sx < sx1; sx++ {
+					sum += int(row[sx])
+					n++
+				}
+			}
+			dst.Pix[y*w+x] = uint8(sum / n)
+		}
+	}
+	return dst
+}
+
+// Thumb pairs an input index with its rendered thumbnail.
+type Thumb struct {
+	Index int
+	Image *workload.Image
+}
+
+// Sequential renders all thumbnails on the calling goroutine.
+func Sequential(imgs []*workload.Image, w, h int) []*workload.Image {
+	out := make([]*workload.Image, len(imgs))
+	for i, im := range imgs {
+		out[i] = Scale(im, w, h)
+	}
+	return out
+}
+
+// PTask renders thumbnails as a Parallel Task multi-task. onThumb, if
+// non-nil, receives each thumbnail as it completes — on the runtime's
+// event loop when one is registered, which is what keeps the grid filling
+// in while the GUI stays live.
+func PTask(rt *ptask.Runtime, imgs []*workload.Image, w, h int, onThumb func(Thumb)) []*workload.Image {
+	multi := ptask.RunMulti(rt, len(imgs), func(i int) (*workload.Image, error) {
+		return Scale(imgs[i], w, h), nil
+	})
+	if onThumb != nil {
+		multi.NotifyEach(func(i int, im *workload.Image, err error) {
+			onThumb(Thumb{Index: i, Image: im})
+		})
+	}
+	out, _ := multi.Results()
+	return out
+}
+
+// WorkerPool renders with a fixed pool of `workers` goroutines fed from a
+// shared index channel — the hand-rolled threading expression.
+func WorkerPool(workers int, imgs []*workload.Image, w, h int) []*workload.Image {
+	if workers < 1 {
+		workers = 1
+	}
+	out := make([]*workload.Image, len(imgs))
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for p := 0; p < workers; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				out[i] = Scale(imgs[i], w, h)
+			}
+		}()
+	}
+	for i := range imgs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return out
+}
+
+// BackgroundWorker renders everything on one background goroutine and
+// reports each thumbnail through onThumb — the SwingWorker shape: the UI
+// stays responsive, but there is no parallel speedup.
+func BackgroundWorker(imgs []*workload.Image, w, h int, onThumb func(Thumb)) <-chan []*workload.Image {
+	done := make(chan []*workload.Image, 1)
+	go func() {
+		out := make([]*workload.Image, len(imgs))
+		for i, im := range imgs {
+			out[i] = Scale(im, w, h)
+			if onThumb != nil {
+				onThumb(Thumb{Index: i, Image: out[i]})
+			}
+		}
+		done <- out
+	}()
+	return done
+}

@@ -1,0 +1,214 @@
+package thumbs
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"parc751/internal/eventloop"
+	"parc751/internal/ptask"
+	"parc751/internal/workload"
+)
+
+func newRT(t *testing.T, workers int) *ptask.Runtime {
+	t.Helper()
+	rt := ptask.NewRuntime(workers)
+	t.Cleanup(rt.Shutdown)
+	return rt
+}
+
+func TestScaleDimensions(t *testing.T) {
+	src := workload.GenImage(1, 100, 60)
+	for _, d := range [][2]int{{10, 10}, {1, 1}, {100, 60}, {200, 120}, {7, 13}} {
+		th := Scale(src, d[0], d[1])
+		if th.W != d[0] || th.H != d[1] || len(th.Pix) != d[0]*d[1] {
+			t.Fatalf("Scale to %dx%d gave %dx%d", d[0], d[1], th.W, th.H)
+		}
+	}
+}
+
+func TestScaleIdentityPreservesContent(t *testing.T) {
+	src := workload.GenImage(2, 32, 32)
+	th := Scale(src, 32, 32)
+	for i := range src.Pix {
+		if th.Pix[i] != src.Pix[i] {
+			t.Fatalf("identity scale changed pixel %d: %d -> %d", i, src.Pix[i], th.Pix[i])
+		}
+	}
+}
+
+func TestScaleAveragesUniformRegions(t *testing.T) {
+	src := &workload.Image{W: 4, H: 4, Pix: []uint8{
+		10, 10, 20, 20,
+		10, 10, 20, 20,
+		30, 30, 40, 40,
+		30, 30, 40, 40,
+	}}
+	th := Scale(src, 2, 2)
+	want := []uint8{10, 20, 30, 40}
+	for i, v := range want {
+		if th.Pix[i] != v {
+			t.Fatalf("quadrant %d = %d, want %d", i, th.Pix[i], v)
+		}
+	}
+}
+
+func TestScaleRejectsBadDims(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero-size scale did not panic")
+		}
+	}()
+	Scale(workload.GenImage(1, 8, 8), 0, 4)
+}
+
+func TestStrategiesProduceIdenticalThumbnails(t *testing.T) {
+	rt := newRT(t, 4)
+	imgs := workload.GenImageSet(3, 24, 16, 64)
+	want := Sequential(imgs, 8, 8)
+
+	pt := PTask(rt, imgs, 8, 8, nil)
+	wp := WorkerPool(3, imgs, 8, 8)
+	bw := <-BackgroundWorker(imgs, 8, 8, nil)
+
+	for name, got := range map[string][]*workload.Image{"ptask": pt, "pool": wp, "background": bw} {
+		if len(got) != len(want) {
+			t.Fatalf("%s: %d thumbs", name, len(got))
+		}
+		for i := range want {
+			if got[i].W != want[i].W || got[i].H != want[i].H {
+				t.Fatalf("%s: thumb %d dims differ", name, i)
+			}
+			for p := range want[i].Pix {
+				if got[i].Pix[p] != want[i].Pix[p] {
+					t.Fatalf("%s: thumb %d pixel %d differs", name, i, p)
+				}
+			}
+		}
+	}
+}
+
+func TestPTaskInterimDelivery(t *testing.T) {
+	rt := newRT(t, 4)
+	imgs := workload.GenImageSet(5, 30, 16, 32)
+	var mu sync.Mutex
+	seen := map[int]bool{}
+	PTask(rt, imgs, 8, 8, func(th Thumb) {
+		mu.Lock()
+		seen[th.Index] = true
+		mu.Unlock()
+	})
+	deadline := time.After(5 * time.Second)
+	for {
+		mu.Lock()
+		n := len(seen)
+		mu.Unlock()
+		if n == len(imgs) {
+			return
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("interim thumbnails delivered %d of %d", n, len(imgs))
+		case <-time.After(time.Millisecond):
+		}
+	}
+}
+
+func TestPTaskInterimOnEventLoop(t *testing.T) {
+	rt := newRT(t, 2)
+	loop := eventloop.New()
+	defer loop.Close()
+	rt.SetEventLoop(loop)
+	imgs := workload.GenImageSet(7, 3, 16, 24)
+	results := make(chan bool, 3)
+	PTask(rt, imgs, 4, 4, func(th Thumb) { results <- loop.OnDispatchThread() })
+	for i := 0; i < 3; i++ {
+		select {
+		case ok := <-results:
+			if !ok {
+				t.Fatal("thumbnail delivered off the dispatch thread")
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("thumbnail never delivered")
+		}
+	}
+}
+
+func TestUIResponsiveWhileRendering(t *testing.T) {
+	rt := newRT(t, 2)
+	loop := eventloop.New()
+	defer loop.Close()
+	rt.SetEventLoop(loop)
+	imgs := workload.GenImageSet(9, 64, 64, 160)
+	done := make(chan struct{})
+	go func() {
+		PTask(rt, imgs, 32, 32, nil)
+		close(done)
+	}()
+	res := loop.Probe(500*time.Microsecond, 20)
+	<-done
+	if res.Max() > time.Second {
+		t.Errorf("UI latency %v while rendering off-thread", res.Max())
+	}
+}
+
+func TestWorkerPoolClampsWorkers(t *testing.T) {
+	imgs := workload.GenImageSet(11, 4, 8, 16)
+	out := WorkerPool(0, imgs, 4, 4)
+	if len(out) != 4 {
+		t.Fatalf("thumbs = %d", len(out))
+	}
+	for _, th := range out {
+		if th == nil {
+			t.Fatal("missing thumbnail")
+		}
+	}
+}
+
+func TestBackgroundWorkerStreamsInOrder(t *testing.T) {
+	imgs := workload.GenImageSet(13, 10, 8, 16)
+	var order []int
+	done := BackgroundWorker(imgs, 4, 4, func(th Thumb) { order = append(order, th.Index) })
+	<-done
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("background order broken: %v", order)
+		}
+	}
+}
+
+func TestEmptyImageSet(t *testing.T) {
+	rt := newRT(t, 2)
+	if got := PTask(rt, nil, 8, 8, nil); len(got) != 0 {
+		t.Fatal("thumbnails from empty set")
+	}
+	if got := WorkerPool(2, nil, 8, 8); len(got) != 0 {
+		t.Fatal("pool thumbnails from empty set")
+	}
+}
+
+func BenchmarkSequential64Images(b *testing.B) {
+	imgs := workload.GenImageSet(1, 64, 64, 128)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Sequential(imgs, 32, 32)
+	}
+}
+
+func BenchmarkPTask64Images(b *testing.B) {
+	rt := ptask.NewRuntime(4)
+	defer rt.Shutdown()
+	imgs := workload.GenImageSet(1, 64, 64, 128)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		PTask(rt, imgs, 32, 32, nil)
+	}
+}
+
+func BenchmarkWorkerPool64Images(b *testing.B) {
+	imgs := workload.GenImageSet(1, 64, 64, 128)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		WorkerPool(4, imgs, 32, 32)
+	}
+}

@@ -1,0 +1,193 @@
+// Package webfetch is project 10 of the reproduced paper: "fast web access
+// through concurrent connections". Network latency makes it profitable to
+// open several connections at once; the project's research question is how
+// many. Two substrates are provided:
+//
+//   - a deterministic processor-sharing network simulation (Simulate):
+//     every transfer first spends a fixed round-trip latency, then shares
+//     the server's bandwidth equally with all concurrently transferring
+//     connections. Sweeping the connection count over this model
+//     reproduces the knee the students measured (adding connections hides
+//     latency until bandwidth saturates, after which per-connection
+//     overhead makes things worse);
+//
+//   - a real concurrent downloader over net/http (fetch.go), driven by
+//     Parallel Task, exercised in tests against a local loopback server
+//     with injected latency.
+package webfetch
+
+import (
+	"math"
+
+	"parc751/internal/workload"
+	"parc751/internal/xrand"
+)
+
+// SimConfig describes the simulated network.
+type SimConfig struct {
+	RTT          float64 // seconds of latency before each transfer starts
+	Bandwidth    float64 // server bytes/second, shared by active transfers
+	ConnOverhead float64 // seconds of client-side setup per request
+	// Jitter adds a deterministic pseudo-random extra latency in
+	// [0, Jitter) seconds per request, seeded by JitterSeed — real
+	// networks do not serve every request in exactly RTT.
+	Jitter     float64
+	JitterSeed uint64
+}
+
+// DefaultSimConfig models a mid-2013 home connection fetching from a
+// remote server: 80 ms RTT, 2 MB/s, 2 ms per-request client overhead.
+func DefaultSimConfig() SimConfig {
+	return SimConfig{RTT: 0.080, Bandwidth: 2e6, ConnOverhead: 0.002}
+}
+
+// SimResult summarises one simulated download run.
+type SimResult struct {
+	Makespan   float64 // seconds until the last page completed
+	TotalBytes int
+	Throughput float64 // bytes/second over the makespan
+}
+
+// transfer is one in-flight page in the simulator.
+type transfer struct {
+	remaining float64 // bytes left (after latency phase)
+	latencyAt float64 // absolute time when the latency phase ends (-1 if over)
+}
+
+// Simulate downloads the pages over the simulated network with at most
+// conns concurrent connections and returns the run summary. The model is
+// egalitarian processor sharing: while k transfers are in their data
+// phase, each receives Bandwidth/k.
+func Simulate(pages []workload.Page, conns int, cfg SimConfig) SimResult {
+	if conns < 1 {
+		conns = 1
+	}
+	total := 0
+	for _, p := range pages {
+		total += p.Bytes
+	}
+	if len(pages) == 0 {
+		return SimResult{}
+	}
+
+	now := 0.0
+	next := 0 // next page to start
+	active := map[int]*transfer{}
+	idle := conns
+	jitter := xrand.New(cfg.JitterSeed)
+
+	start := func() {
+		for idle > 0 && next < len(pages) {
+			lat := cfg.ConnOverhead + cfg.RTT
+			if cfg.Jitter > 0 {
+				lat += jitter.Float64() * cfg.Jitter
+			}
+			tr := &transfer{
+				remaining: float64(pages[next].Bytes),
+				latencyAt: now + lat,
+			}
+			active[next] = tr
+			next++
+			idle--
+		}
+	}
+	start()
+
+	for len(active) > 0 {
+		// Count transfers in the data phase and find the next event:
+		// either a latency phase ends or a data transfer drains.
+		dataPhase := 0
+		nextEvent := math.Inf(1)
+		for _, tr := range active {
+			if tr.latencyAt >= 0 && tr.latencyAt > now {
+				if tr.latencyAt < nextEvent {
+					nextEvent = tr.latencyAt
+				}
+			} else {
+				dataPhase++
+			}
+		}
+		if dataPhase > 0 {
+			rate := cfg.Bandwidth / float64(dataPhase)
+			for _, tr := range active {
+				if tr.latencyAt < 0 || tr.latencyAt <= now {
+					if t := now + tr.remaining/rate; t < nextEvent {
+						nextEvent = t
+					}
+				}
+			}
+			// Drain all data-phase transfers by the elapsed time. A
+			// transfer completes when its finish time is at (or within
+			// floating-point tolerance of) the event time: comparing
+			// times rather than residual bytes is what guarantees the
+			// minimum-finish transfer — which defined nextEvent — is
+			// removed, so the loop always makes progress even when
+			// `nextEvent - now` underflows against a large clock value.
+			elapsed := nextEvent - now
+			eps := 1e-12 * (1 + math.Abs(nextEvent))
+			for id, tr := range active {
+				if tr.latencyAt < 0 || tr.latencyAt <= now {
+					if now+tr.remaining/rate <= nextEvent+eps {
+						delete(active, id)
+						idle++
+					} else {
+						tr.remaining -= elapsed * rate
+					}
+				} else if tr.latencyAt <= nextEvent {
+					tr.latencyAt = -1 // latency phase completed exactly now
+				}
+			}
+		} else {
+			// Everyone is still in latency; jump to the first exit.
+			for _, tr := range active {
+				if tr.latencyAt <= nextEvent {
+					tr.latencyAt = -1
+				}
+			}
+		}
+		now = nextEvent
+		start()
+	}
+	res := SimResult{Makespan: now, TotalBytes: total}
+	if now > 0 {
+		res.Throughput = float64(total) / now
+	}
+	return res
+}
+
+// Sweep simulates the same page set for every connection count in conns
+// and returns the makespans in order — the project's headline curve.
+func Sweep(pages []workload.Page, conns []int, cfg SimConfig) []SimResult {
+	out := make([]SimResult, len(conns))
+	for i, k := range conns {
+		out[i] = Simulate(pages, k, cfg)
+	}
+	return out
+}
+
+// BestConnections returns the connection count from candidates with the
+// smallest simulated makespan.
+func BestConnections(pages []workload.Page, candidates []int, cfg SimConfig) int {
+	best, bestT := 1, math.Inf(1)
+	for _, k := range candidates {
+		if t := Simulate(pages, k, cfg).Makespan; t < bestT {
+			best, bestT = k, t
+		}
+	}
+	return best
+}
+
+// LowerBound returns the physical floor on the makespan: the pipes can't
+// move bytes faster than Bandwidth, and no page finishes before one
+// latency turn.
+func LowerBound(pages []workload.Page, cfg SimConfig) float64 {
+	total := 0
+	for _, p := range pages {
+		total += p.Bytes
+	}
+	lb := float64(total) / cfg.Bandwidth
+	if len(pages) > 0 && cfg.RTT > lb {
+		lb = cfg.RTT
+	}
+	return lb
+}
