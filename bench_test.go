@@ -58,8 +58,31 @@ func BenchmarkP9Collections(b *testing.B) { benchExperiment(b, "P9") }
 func BenchmarkP10WebFetch(b *testing.B)   { benchExperiment(b, "P10") }
 
 // ---- Ablation A1: work-stealing vs global queue (DESIGN.md §5) ----
+//
+// The simulator sub-benches report virtual makespans; the realpool
+// sub-bench drives the actual work-stealing runtime through the A1
+// registry experiment and asserts on its scheduler snapshot findings
+// (task conservation, observed steals, targeted wakeups).
 
 func BenchmarkA1SchedulerAblation(b *testing.B) {
+	b.Run("realpool", func(b *testing.B) {
+		e, ok := experiments.ByID("A1")
+		if !ok {
+			b.Fatal("A1 experiment not registered")
+		}
+		cfg := experiments.QuickConfig()
+		var steals, parks float64
+		for i := 0; i < b.N; i++ {
+			res := e.Run(cfg)
+			if !res.AllPassed() {
+				b.Fatalf("A1 scheduler findings failed: %v", res.FailedFindings())
+			}
+			steals = res.Metrics["pool_steals"]
+			parks = res.Metrics["pool_parks"]
+		}
+		b.ReportMetric(steals, "steals")
+		b.ReportMetric(parks, "parks")
+	})
 	costs := make([]uint64, 1024)
 	for i := range costs {
 		costs[i] = 300 + uint64(i%7)*100

@@ -10,6 +10,7 @@
 //	parcbench -e P2              # one experiment, full scale
 //	parcbench -e all -quick      # everything, small sizes
 //	parcbench -e P7 -workers 8 -seed 99
+//	parcbench -e P2 -schedstats  # append per-worker scheduler counters
 package main
 
 import (
@@ -28,6 +29,8 @@ func main() {
 		seed    = flag.Uint64("seed", 751, "workload seed")
 		workers = flag.Int("workers", 4, "worker threads for real parallel execution")
 		list    = flag.Bool("list", false, "list experiments and exit")
+		sstats  = flag.Bool("schedstats", false,
+			"print per-worker scheduler counters (pushes/pops/steals/parks/wakes) and submit latency for experiments that drive the real runtime")
 	)
 	flag.Parse()
 
@@ -38,7 +41,7 @@ func main() {
 		return
 	}
 
-	cfg := experiments.Config{Seed: *seed, Quick: *quick, Workers: *workers}
+	cfg := experiments.Config{Seed: *seed, Quick: *quick, Workers: *workers, SchedStats: *sstats}
 	var toRun []experiments.Experiment
 	if strings.EqualFold(*expID, "all") {
 		toRun = experiments.All()

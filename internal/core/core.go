@@ -9,15 +9,14 @@
 package core
 
 import (
-	"bytes"
 	"errors"
 	"fmt"
 	"runtime"
-	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"parc751/internal/metrics"
 	"parc751/internal/sched"
 )
 
@@ -98,31 +97,70 @@ func (f *Future[T]) TryGet() (v T, err error, ok bool) {
 	}
 }
 
-// Pool is a work-stealing worker pool: each worker owns a deque (LIFO for
-// its own spawns, FIFO for thieves) and falls back to a global FIFO for
-// external submissions, matching the Parallel Task runtime's design.
+// latencySampleMask samples one in (mask+1) submissions into the
+// submit→start latency histogram, keeping the probe cost off the common
+// submit path.
+const latencySampleMask = 63
+
+// Pool is a work-stealing worker pool: each worker owns a lock-free
+// Chase–Lev deque (LIFO for its own spawns, FIFO for thieves) and falls
+// back to a global FIFO for external submissions, matching the Parallel
+// Task runtime's design. Submissions wake at most one parked worker
+// (targeted wakeup); idle workers park on per-worker channels instead of
+// polling.
+//
+// Lifecycle: NewPool starts the workers; Submit/Help/Quiesce may be used
+// from any goroutine while the pool is live; Shutdown drains all
+// submitted work and stops the workers. After Shutdown the pool is dead:
+// Submit panics (a silent submit would strand the task forever, since no
+// worker will ever run it), and Shutdown must not be called twice.
 type Pool struct {
 	workers []*worker
 	global  sched.FIFO[func()]
 	victims *sched.RandomVictims
 
-	mu       sync.Mutex
-	cond     *sync.Cond
-	queued   int64 // tasks sitting in any queue
-	shutdown bool
+	queued        atomic.Int64 // advisory: enqueued but not yet taken
+	inflight      atomic.Int64 // queued + running
+	executed      atomic.Int64
+	globalSubmits atomic.Int64
+	down          atomic.Bool
 
-	inflight atomic.Int64 // queued + running
-	executed atomic.Int64
-	wg       sync.WaitGroup
+	// Parking: idle holds the park slots of workers (and helpers) that
+	// found no work anywhere; a submitter pops one slot and sends it a
+	// wake token. nidle mirrors len(idle) so the submit fast path can
+	// skip the mutex when nobody is parked.
+	idleMu sync.Mutex
+	idle   []*parkSlot
+	nidle  atomic.Int32
 
-	gidMu sync.RWMutex
-	gids  map[int64]*worker
+	// Quiesce waiters park on qcond; runTask only broadcasts when
+	// qwaiters says someone is listening.
+	qmu      sync.Mutex
+	qcond    *sync.Cond
+	qwaiters atomic.Int32
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+	reg  workerRegistry
+
+	latN atomic.Int64
+	lat  metrics.LatencyHistogram
+}
+
+// parkSlot is one parking place: a buffered wake channel plus the worker
+// that owns it (nil for external helpers).
+type parkSlot struct {
+	ch chan struct{}
+	w  *worker
 }
 
 type worker struct {
 	id    int
 	deque *sched.Deque[func()]
 	pool  *Pool
+	slot  *parkSlot
+	parks atomic.Int64
+	wakes atomic.Int64
 }
 
 // NewPool starts a pool with n workers (n < 1 is treated as 1).
@@ -133,11 +171,13 @@ func NewPool(n int) *Pool {
 	p := &Pool{
 		workers: make([]*worker, n),
 		victims: sched.NewRandomVictims(n, 0x5157),
-		gids:    map[int64]*worker{},
+		stop:    make(chan struct{}),
 	}
-	p.cond = sync.NewCond(&p.mu)
+	p.qcond = sync.NewCond(&p.qmu)
 	for i := range p.workers {
-		p.workers[i] = &worker{id: i, deque: sched.NewDeque[func()](64), pool: p}
+		w := &worker{id: i, deque: sched.NewDeque[func()](64), pool: p}
+		w.slot = &parkSlot{ch: make(chan struct{}, 1), w: w}
+		p.workers[i] = w
 	}
 	p.wg.Add(n)
 	for _, w := range p.workers {
@@ -154,58 +194,142 @@ func (p *Pool) Executed() int64 { return p.executed.Load() }
 
 // Submit schedules fn. Called from a worker goroutine, the task goes on
 // that worker's own deque (depth-first, cache-friendly); called from
-// outside, it goes on the global queue.
+// outside, it goes on the global queue. At most one parked worker is
+// woken. Submit panics if the pool has been Shutdown.
 func (p *Pool) Submit(fn func()) {
+	if p.down.Load() {
+		panic("core: Submit on a Pool after Shutdown (task would never run)")
+	}
 	p.inflight.Add(1)
-	if w := p.currentWorker(); w != nil {
+	// queued is incremented before the task is visible in any queue and
+	// decremented only after a successful take, so it never goes
+	// negative; it may transiently over-count (a stale positive only
+	// costs a spurious wakeup, never a missed one).
+	p.queued.Add(1)
+	if p.latN.Add(1)&latencySampleMask == 0 {
+		inner := fn
+		start := time.Now()
+		fn = func() {
+			p.lat.Observe(time.Since(start))
+			inner()
+		}
+	}
+	if w := p.reg.current(); w != nil {
 		w.deque.PushBottom(fn)
 	} else {
+		p.globalSubmits.Add(1)
 		p.global.Push(fn)
 	}
-	p.mu.Lock()
-	p.queued++
-	p.cond.Broadcast()
-	p.mu.Unlock()
+	p.wakeOne()
 }
 
 // OnWorker reports whether the calling goroutine is one of the pool's
 // workers.
-func (p *Pool) OnWorker() bool { return p.currentWorker() != nil }
+func (p *Pool) OnWorker() bool { return p.reg.current() != nil }
 
-func (p *Pool) currentWorker() *worker {
-	p.gidMu.RLock()
-	w := p.gids[goroutineID()]
-	p.gidMu.RUnlock()
-	return w
+// wakeOne pops one parked slot and sends it a wake token. The nidle fast
+// path means a submit into a busy pool never touches the idle mutex.
+func (p *Pool) wakeOne() {
+	if p.nidle.Load() == 0 {
+		return
+	}
+	p.idleMu.Lock()
+	n := len(p.idle)
+	if n == 0 {
+		p.idleMu.Unlock()
+		return
+	}
+	s := p.idle[n-1]
+	p.idle = p.idle[:n-1]
+	p.nidle.Store(int32(n - 1))
+	p.idleMu.Unlock()
+	if s.w != nil {
+		s.w.wakes.Add(1)
+	}
+	select {
+	case s.ch <- struct{}{}:
+	default:
+	}
+}
+
+func (p *Pool) pushIdle(s *parkSlot) {
+	p.idleMu.Lock()
+	p.idle = append(p.idle, s)
+	p.nidle.Store(int32(len(p.idle)))
+	p.idleMu.Unlock()
+}
+
+// removeIdle takes s off the idle list; false means a waker already
+// popped it (a wake token is, or soon will be, in s.ch).
+func (p *Pool) removeIdle(s *parkSlot) bool {
+	p.idleMu.Lock()
+	defer p.idleMu.Unlock()
+	for i, e := range p.idle {
+		if e == s {
+			p.idle = append(p.idle[:i], p.idle[i+1:]...)
+			p.nidle.Store(int32(len(p.idle)))
+			return true
+		}
+	}
+	return false
+}
+
+// cancelIdle retracts a registration made by pushIdle when the goroutine
+// found work (or is leaving) on its own. If a waker already claimed the
+// slot, the token it sent is absorbed and — since that waker believed its
+// task was now covered — the wake is passed on when work remains queued.
+func (p *Pool) cancelIdle(s *parkSlot) {
+	if p.removeIdle(s) {
+		return
+	}
+	select {
+	case <-s.ch:
+	default:
+	}
+	if p.queued.Load() > 0 {
+		p.wakeOne()
+	}
 }
 
 func (w *worker) run() {
 	p := w.pool
-	gid := goroutineID()
-	p.gidMu.Lock()
-	p.gids[gid] = w
-	p.gidMu.Unlock()
+	unbind := p.reg.bind(w)
 	defer func() {
-		p.gidMu.Lock()
-		delete(p.gids, gid)
-		p.gidMu.Unlock()
+		unbind()
 		p.wg.Done()
 	}()
 	for {
 		fn, ok := p.findWork(w)
 		if !ok {
-			p.mu.Lock()
-			for p.queued == 0 && !p.shutdown {
-				p.cond.Wait()
-			}
-			stop := p.shutdown && p.queued == 0
-			p.mu.Unlock()
-			if stop {
+			if p.park(w) {
 				return
 			}
 			continue
 		}
 		p.runTask(fn)
+	}
+}
+
+// park blocks w until a submitter wakes it or the pool stops; it returns
+// true when the worker should exit. The push-then-recheck order closes
+// the missed-wakeup window: a submitter enqueues before checking for
+// idlers, so either it sees this worker's registration, or the recheck
+// here sees its task.
+func (p *Pool) park(w *worker) (exit bool) {
+	s := w.slot
+	p.pushIdle(s)
+	if fn, ok := p.findWork(w); ok {
+		p.cancelIdle(s)
+		p.runTask(fn)
+		return false
+	}
+	w.parks.Add(1)
+	select {
+	case <-s.ch:
+		return false
+	case <-p.stop:
+		p.cancelIdle(s)
+		return true
 	}
 }
 
@@ -214,30 +338,24 @@ func (w *worker) run() {
 func (p *Pool) findWork(w *worker) (func(), bool) {
 	if w != nil {
 		if fn, ok := w.deque.PopBottom(); ok {
-			p.noteTaken()
+			p.queued.Add(-1)
 			return fn, true
 		}
 	}
 	if fn, ok := p.global.Pop(); ok {
-		p.noteTaken()
+		p.queued.Add(-1)
 		return fn, true
 	}
 	if w != nil {
 		for i := 1; i < len(p.workers); i++ {
 			v := p.victims.Next(w.id)
 			if fn, ok := p.workers[v].deque.Steal(); ok {
-				p.noteTaken()
+				p.queued.Add(-1)
 				return fn, true
 			}
 		}
 	}
 	return nil, false
-}
-
-func (p *Pool) noteTaken() {
-	p.mu.Lock()
-	p.queued--
-	p.mu.Unlock()
 }
 
 func (p *Pool) runTask(fn func()) {
@@ -246,51 +364,119 @@ func (p *Pool) runTask(fn func()) {
 	// panics must still not kill the worker.
 	_ = Catch(fn)
 	p.executed.Add(1)
-	p.inflight.Add(-1)
+	if p.inflight.Add(-1) == 0 && p.qwaiters.Load() > 0 {
+		p.qmu.Lock()
+		p.qcond.Broadcast()
+		p.qmu.Unlock()
+	}
 }
 
 // Help runs queued tasks on the calling goroutine until done is closed.
 // This is how joins avoid deadlock: a worker (or any goroutine) waiting on
 // a future keeps executing other tasks instead of blocking, so recursive
-// decompositions complete on pools of any size.
+// decompositions complete on pools of any size. With no work available
+// the helper parks on the pool's idle list (woken by the next Submit)
+// instead of polling a timer.
 func (p *Pool) Help(done <-chan struct{}) {
-	w := p.currentWorker()
+	w := p.reg.current()
+	var s *parkSlot
+	if w != nil {
+		// A worker inside Help is not parked in its run loop, so its
+		// own slot is free to reuse (and recursive Helps never have two
+		// live registrations: the outer one is consumed before the task
+		// that contains the inner Help runs).
+		s = w.slot
+	} else {
+		s = &parkSlot{ch: make(chan struct{}, 1)}
+	}
 	for {
 		select {
 		case <-done:
 			return
 		default:
 		}
-		fn, ok := p.findWork(w)
-		if !ok {
-			select {
-			case <-done:
-				return
-			case <-time.After(50 * time.Microsecond):
-			}
+		if fn, ok := p.findWork(w); ok {
+			p.runTask(fn)
 			continue
 		}
-		p.runTask(fn)
+		p.pushIdle(s)
+		if fn, ok := p.findWork(w); ok {
+			p.cancelIdle(s)
+			p.runTask(fn)
+			continue
+		}
+		if w != nil {
+			w.parks.Add(1)
+		}
+		select {
+		case <-done:
+			p.cancelIdle(s)
+			return
+		case <-s.ch:
+			// Woken for work. If done fired at the same time the loop
+			// exits above without consuming it — pass the token on so
+			// the task that triggered the wake is not stranded.
+			select {
+			case <-done:
+				if p.queued.Load() > 0 {
+					p.wakeOne()
+				}
+				return
+			default:
+			}
+		}
 	}
 }
 
 // Quiesce blocks until no tasks are queued or running. It must not be
-// called from a worker.
+// called from a worker. The wait is event-driven: the last finishing
+// task signals waiters instead of waiters polling a timer.
 func (p *Pool) Quiesce() {
-	for p.inflight.Load() != 0 {
-		time.Sleep(100 * time.Microsecond)
+	if p.inflight.Load() == 0 {
+		return
 	}
+	p.qwaiters.Add(1)
+	defer p.qwaiters.Add(-1)
+	p.qmu.Lock()
+	for p.inflight.Load() != 0 {
+		p.qcond.Wait()
+	}
+	p.qmu.Unlock()
 }
 
 // Shutdown waits for all submitted work to finish, then stops the workers.
-// The pool must not be used afterwards.
+// The pool must not be used afterwards: a later Submit panics, and a
+// second Shutdown is undefined.
 func (p *Pool) Shutdown() {
 	p.Quiesce()
-	p.mu.Lock()
-	p.shutdown = true
-	p.cond.Broadcast()
-	p.mu.Unlock()
+	if p.down.CompareAndSwap(false, true) {
+		close(p.stop) // exactly one caller closes; Shutdown is idempotent
+	}
 	p.wg.Wait()
+}
+
+// Stats assembles a point-in-time scheduler snapshot: per-worker deque
+// traffic and park/wake counts, global-queue activity, task accounting,
+// and the sampled submit→start latency histogram.
+func (p *Pool) Stats() sched.Snapshot {
+	snap := sched.Snapshot{
+		Workers:       make([]sched.WorkerSnapshot, len(p.workers)),
+		GlobalDepth:   p.global.Len(),
+		GlobalSubmits: p.globalSubmits.Load(),
+		Queued:        p.queued.Load(),
+		Inflight:      p.inflight.Load(),
+		Executed:      p.executed.Load(),
+		SubmitLatency: p.lat.Snapshot(),
+	}
+	for i, w := range p.workers {
+		snap.Workers[i] = sched.WorkerSnapshot{
+			ID:         w.id,
+			DequeStats: w.deque.Stats(),
+			Parks:      w.parks.Load(),
+			Wakes:      w.wakes.Load(),
+		}
+	}
+	return snap
 }
 
 // ErrBarrierAborted is the panic value delivered to parties blocked in
@@ -405,21 +591,4 @@ func BlockChunks(n, chunk int) []Chunk {
 		chunks = append(chunks, Chunk{lo, hi})
 	}
 	return chunks
-}
-
-// goroutineID extracts the current goroutine's id from the runtime stack
-// header. Stdlib-only worker identification; called on submit paths, not
-// inner loops.
-func goroutineID() int64 {
-	var buf [64]byte
-	n := runtime.Stack(buf[:], false)
-	fields := bytes.Fields(buf[:n])
-	if len(fields) < 2 {
-		return -1
-	}
-	id, err := strconv.ParseInt(string(fields[1]), 10, 64)
-	if err != nil {
-		return -1
-	}
-	return id
 }

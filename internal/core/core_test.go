@@ -433,3 +433,166 @@ func BenchmarkStaticChunks(b *testing.B) {
 		StaticChunks(100000, 16)
 	}
 }
+
+// Regression: Submit after Shutdown must panic loudly instead of silently
+// stranding the task (workers are gone; any join on it would deadlock).
+func TestSubmitAfterShutdownPanics(t *testing.T) {
+	p := NewPool(2)
+	p.Shutdown()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Submit after Shutdown did not panic")
+		}
+	}()
+	p.Submit(func() {})
+}
+
+func TestShutdownIdempotent(t *testing.T) {
+	p := NewPool(2)
+	var ran atomic.Bool
+	p.Submit(func() { ran.Store(true) })
+	p.Shutdown()
+	p.Shutdown() // second call must be a no-op, not a double channel close
+	if !ran.Load() {
+		t.Fatal("task did not run before shutdown")
+	}
+	// Concurrent callers racing the first close must also be safe.
+	q := NewPool(2)
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() { defer wg.Done(); q.Shutdown() }()
+	}
+	wg.Wait()
+}
+
+// Stress the Submit/findWork window under many external submitters and a
+// tiny pool: the queued counter must never strand a parking worker (a
+// missed wakeup here shows up as a hang). Run under -race in CI.
+func TestSubmitStressNoMissedWakeup(t *testing.T) {
+	p := NewPool(2)
+	defer p.Shutdown()
+	const submitters = 16
+	const perSubmitter = 500
+	var ran atomic.Int64
+	done := make(chan struct{})
+	go func() {
+		var wg sync.WaitGroup
+		for s := 0; s < submitters; s++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < perSubmitter; i++ {
+					p.Submit(func() { ran.Add(1) })
+					if i%7 == 0 {
+						// Mix in worker-side spawning via nested submits.
+						p.Submit(func() {
+							p.Submit(func() { ran.Add(1) })
+						})
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		p.Quiesce()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatalf("stress run hung: ran=%d queued-ish inflight", ran.Load())
+	}
+	want := int64(submitters * (perSubmitter + (perSubmitter+6)/7))
+	if ran.Load() != want {
+		t.Fatalf("ran %d of %d tasks", ran.Load(), want)
+	}
+}
+
+// The scheduler snapshot must conserve tasks: everything submitted is
+// accounted for by deque pops, steals, and global-queue service.
+func TestPoolStatsSnapshot(t *testing.T) {
+	p := NewPool(4)
+	defer p.Shutdown()
+	const ext = 500
+	var wg sync.WaitGroup
+	wg.Add(ext)
+	for i := 0; i < ext; i++ {
+		p.Submit(func() {
+			// Each external task spawns one child from the worker side.
+			p.Submit(wg.Done)
+		})
+	}
+	wg.Wait()
+	p.Quiesce()
+	s := p.Stats()
+	if s.Executed != 2*ext {
+		t.Fatalf("Executed = %d, want %d", s.Executed, 2*ext)
+	}
+	if s.Inflight != 0 || s.Queued != 0 || s.GlobalDepth != 0 {
+		t.Fatalf("quiesced pool not settled: %+v", s)
+	}
+	if s.GlobalSubmits != ext {
+		t.Fatalf("GlobalSubmits = %d, want %d", s.GlobalSubmits, ext)
+	}
+	if s.TotalPushes() != ext {
+		t.Fatalf("worker-side pushes = %d, want %d", s.TotalPushes(), ext)
+	}
+	var served int64
+	for _, w := range s.Workers {
+		served += w.Pops + w.Steals
+	}
+	if served != s.TotalPushes() {
+		t.Fatalf("deque served %d of %d pushes", served, s.TotalPushes())
+	}
+	if len(s.Workers) != 4 {
+		t.Fatalf("snapshot has %d workers", len(s.Workers))
+	}
+	if s.SubmitLatency.Total == 0 {
+		t.Fatal("latency sampler recorded nothing over 1000 submits")
+	}
+}
+
+// Workers parked by idleness must be woken by later submissions — the
+// park/wake counters prove the targeted-wakeup path actually runs.
+func TestParkWakeCycle(t *testing.T) {
+	p := NewPool(2)
+	defer p.Shutdown()
+	for round := 0; round < 20; round++ {
+		p.Submit(func() {})
+		p.Quiesce()
+		time.Sleep(time.Millisecond) // let workers park between rounds
+	}
+	s := p.Stats()
+	if s.TotalParks() == 0 {
+		t.Fatal("no worker ever parked across idle rounds")
+	}
+}
+
+func BenchmarkPoolSubmitFromWorker(b *testing.B) {
+	p := NewPool(4)
+	defer p.Shutdown()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	b.ResetTimer()
+	p.Submit(func() {
+		defer wg.Done()
+		var inner sync.WaitGroup
+		inner.Add(b.N)
+		for i := 0; i < b.N; i++ {
+			p.Submit(inner.Done) // hits the worker-identity fast path
+		}
+		inner.Wait()
+	})
+	wg.Wait()
+}
+
+func BenchmarkOnWorkerCheck(b *testing.B) {
+	p := NewPool(2)
+	defer p.Shutdown()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if p.OnWorker() {
+			b.Fatal("bench goroutine is not a worker")
+		}
+	}
+}

@@ -1,0 +1,58 @@
+//go:build !linux
+
+package core
+
+import (
+	"bytes"
+	"runtime"
+	"strconv"
+	"sync"
+)
+
+// Worker identity, portable fallback: a registry keyed by goroutine id
+// recovered from the runtime.Stack header. Slower than the Linux
+// thread-id path (microseconds per lookup), but stdlib-only and correct
+// on every platform. The empty-registry fast path keeps external-only
+// pools (no workers registered yet) from paying the stack parse.
+type workerRegistry struct {
+	mu   sync.RWMutex
+	gids map[int64]*worker
+}
+
+func (r *workerRegistry) bind(w *worker) (unbind func()) {
+	gid := goroutineID()
+	r.mu.Lock()
+	if r.gids == nil {
+		r.gids = map[int64]*worker{}
+	}
+	r.gids[gid] = w
+	r.mu.Unlock()
+	return func() {
+		r.mu.Lock()
+		delete(r.gids, gid)
+		r.mu.Unlock()
+	}
+}
+
+func (r *workerRegistry) current() *worker {
+	r.mu.RLock()
+	w := r.gids[goroutineID()]
+	r.mu.RUnlock()
+	return w
+}
+
+// goroutineID extracts the current goroutine's id from the runtime stack
+// header ("goroutine N [running]: ...").
+func goroutineID() int64 {
+	var buf [64]byte
+	n := runtime.Stack(buf[:], false)
+	fields := bytes.Fields(buf[:n])
+	if len(fields) < 2 {
+		return -1
+	}
+	id, err := strconv.ParseInt(string(fields[1]), 10, 64)
+	if err != nil {
+		return -1
+	}
+	return id
+}

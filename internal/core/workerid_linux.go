@@ -1,0 +1,61 @@
+//go:build linux
+
+package core
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"syscall"
+)
+
+// Worker identity, Linux fast path. Each worker goroutine locks itself to
+// an OS thread for its lifetime, so the thread id (gettid, ~tens of ns —
+// versus the microseconds of parsing runtime.Stack text) uniquely
+// identifies the worker goroutine: no other goroutine can ever run on a
+// locked thread. Lookups are an atomic load of a copy-on-write map plus
+// one map access; the map is only rewritten when workers start or stop.
+type workerRegistry struct {
+	mu   sync.Mutex
+	byID atomic.Pointer[map[int]*worker]
+}
+
+// bind registers the calling goroutine as w and returns its unbind
+// function. Must be called from w's goroutine before it runs any task.
+func (r *workerRegistry) bind(w *worker) (unbind func()) {
+	runtime.LockOSThread()
+	tid := syscall.Gettid()
+	r.set(tid, w)
+	return func() {
+		r.set(tid, nil)
+		runtime.UnlockOSThread()
+	}
+}
+
+func (r *workerRegistry) set(tid int, w *worker) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	old := r.byID.Load()
+	next := make(map[int]*worker)
+	if old != nil {
+		for k, v := range *old {
+			next[k] = v
+		}
+	}
+	if w == nil {
+		delete(next, tid)
+	} else {
+		next[tid] = w
+	}
+	r.byID.Store(&next)
+}
+
+// current returns the worker bound to the calling goroutine, or nil for
+// external goroutines.
+func (r *workerRegistry) current() *worker {
+	m := r.byID.Load()
+	if m == nil || len(*m) == 0 {
+		return nil
+	}
+	return (*m)[syscall.Gettid()]
+}

@@ -129,6 +129,10 @@ func runP2(cfg Config) *Result {
 	b.WriteString(tab.String())
 	b.WriteString("\n")
 	b.WriteString(chart.String())
+	if cfg.SchedStats {
+		b.WriteString("\n")
+		b.WriteString(rt.SchedStats().String())
+	}
 	res.Output = b.String()
 
 	res.ok("all implementations correct", correct)

@@ -21,6 +21,11 @@ type Config struct {
 	// Workers is the worker/thread count for real (non-simulated)
 	// parallel execution.
 	Workers int
+	// SchedStats, when set, makes experiments that drive the real
+	// work-stealing runtime append a scheduler snapshot (per-worker
+	// push/pop/steal/park/wake counts, submit→start latency) to their
+	// output. Driven by `parcbench -schedstats`.
+	SchedStats bool
 }
 
 // DefaultConfig returns the configuration used to produce EXPERIMENTS.md.
@@ -95,7 +100,7 @@ var registry []Experiment
 // first, then the ten projects. (init functions run in file-name order,
 // so raw registration order is arbitrary.)
 var canonicalOrder = []string{"F1", "F2", "TASSESS", "EALLOC", "EPROTO", "ECURR", "ELIKERT",
-	"P1", "P2", "P3", "P4", "P5", "P6", "P7", "P8", "P9", "P10"}
+	"P1", "P2", "P3", "P4", "P5", "P6", "P7", "P8", "P9", "P10", "A1"}
 
 func register(e Experiment) { registry = append(registry, e) }
 

@@ -1,0 +1,111 @@
+package metrics
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// latencyBuckets is the number of power-of-two duration buckets tracked by
+// LatencyHistogram: bucket i covers [2^(i-1), 2^i) nanoseconds, with
+// bucket 0 holding sub-nanosecond (clamped) observations and the last
+// bucket holding everything at or above 2^(latencyBuckets-2) ns (~2.3s).
+const latencyBuckets = 32
+
+// LatencyHistogram accumulates durations into logarithmic (power-of-two)
+// buckets. All methods are safe for concurrent use; Observe is a single
+// atomic increment, cheap enough for scheduler hot paths. The zero value
+// is an empty histogram ready for use.
+type LatencyHistogram struct {
+	counts [latencyBuckets]atomic.Int64
+}
+
+// Observe folds one duration into the histogram. Negative durations are
+// clamped to zero.
+func (h *LatencyHistogram) Observe(d time.Duration) {
+	ns := int64(d)
+	if ns < 0 {
+		ns = 0
+	}
+	i := bits.Len64(uint64(ns))
+	if i >= latencyBuckets {
+		i = latencyBuckets - 1
+	}
+	h.counts[i].Add(1)
+}
+
+// Snapshot returns an immutable copy of the current bucket counts.
+func (h *LatencyHistogram) Snapshot() LatencySnapshot {
+	var s LatencySnapshot
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+		s.Total += s.Counts[i]
+	}
+	return s
+}
+
+// LatencySnapshot is a point-in-time copy of a LatencyHistogram.
+type LatencySnapshot struct {
+	Counts [latencyBuckets]int64
+	Total  int64
+}
+
+// bucketHi returns the exclusive upper bound of bucket i.
+func bucketHi(i int) time.Duration {
+	if i >= 63 {
+		return time.Duration(1<<63 - 1)
+	}
+	return time.Duration(int64(1) << uint(i))
+}
+
+// Quantile returns an upper-bound estimate of the q-quantile (0 <= q <= 1):
+// the upper edge of the bucket containing that rank. It returns 0 for an
+// empty snapshot.
+func (s LatencySnapshot) Quantile(q float64) time.Duration {
+	if s.Total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(q * float64(s.Total))
+	if rank >= s.Total {
+		rank = s.Total - 1
+	}
+	var cum int64
+	for i, c := range s.Counts {
+		cum += c
+		if cum > rank {
+			return bucketHi(i)
+		}
+	}
+	return bucketHi(latencyBuckets - 1)
+}
+
+// String renders the non-empty tail of the histogram as one line of
+// "≤bound:count" pairs plus headline quantiles.
+func (s LatencySnapshot) String() string {
+	if s.Total == 0 {
+		return "no observations"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "n=%d p50≤%v p90≤%v p99≤%v | ", s.Total,
+		s.Quantile(0.50), s.Quantile(0.90), s.Quantile(0.99))
+	first := true
+	for i, c := range s.Counts {
+		if c == 0 {
+			continue
+		}
+		if !first {
+			b.WriteString(" ")
+		}
+		first = false
+		fmt.Fprintf(&b, "≤%v:%d", bucketHi(i), c)
+	}
+	return b.String()
+}

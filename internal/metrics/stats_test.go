@@ -267,3 +267,57 @@ func BenchmarkSummaryMerge(b *testing.B) {
 		tmp.Merge(&c)
 	}
 }
+
+func TestLatencyHistogramBuckets(t *testing.T) {
+	var h LatencyHistogram
+	if s := h.Snapshot(); s.Total != 0 || s.String() != "no observations" {
+		t.Fatalf("empty snapshot: %v %q", s.Total, s.String())
+	}
+	h.Observe(0)
+	h.Observe(-time.Second) // clamped to zero
+	h.Observe(3)            // bucket [2,4)
+	h.Observe(100 * time.Millisecond)
+	h.Observe(1 << 62) // clamped into the last bucket
+	s := h.Snapshot()
+	if s.Total != 5 {
+		t.Fatalf("Total = %d", s.Total)
+	}
+	if s.Counts[0] != 2 {
+		t.Fatalf("zero bucket = %d", s.Counts[0])
+	}
+	if s.Counts[2] != 1 {
+		t.Fatalf("bucket [2,4) = %d", s.Counts[2])
+	}
+	if s.Counts[31] != 1 {
+		t.Fatalf("overflow bucket = %d", s.Counts[31])
+	}
+	if q := s.Quantile(0); q <= 0 {
+		t.Fatalf("Quantile(0) = %v", q)
+	}
+	if q := s.Quantile(1); q < 100*time.Millisecond {
+		t.Fatalf("Quantile(1) = %v", q)
+	}
+	if s.String() == "" {
+		t.Fatal("empty rendering")
+	}
+}
+
+func TestLatencyHistogramQuantileMonotone(t *testing.T) {
+	var h LatencyHistogram
+	for i := 0; i < 1000; i++ {
+		h.Observe(time.Duration(i) * time.Microsecond)
+	}
+	s := h.Snapshot()
+	qs := []float64{0.1, 0.5, 0.9, 0.99, 1}
+	prev := time.Duration(0)
+	for _, q := range qs {
+		v := s.Quantile(q)
+		if v < prev {
+			t.Fatalf("Quantile(%v) = %v < %v", q, v, prev)
+		}
+		prev = v
+	}
+	if s.Quantile(0.5) > time.Millisecond {
+		t.Fatalf("p50 = %v, want <= 1ms for 0..1ms data", s.Quantile(0.5))
+	}
+}

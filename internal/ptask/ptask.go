@@ -25,6 +25,7 @@ import (
 
 	"parc751/internal/core"
 	"parc751/internal/eventloop"
+	"parc751/internal/sched"
 )
 
 // ErrCancelled is the error carried by a task cancelled before it ran.
@@ -61,8 +62,15 @@ func (rt *Runtime) EventLoop() *eventloop.Loop { return rt.loop }
 // Workers returns the pool size.
 func (rt *Runtime) Workers() int { return rt.pool.Size() }
 
-// Shutdown drains outstanding work and stops the workers.
+// Shutdown drains outstanding work and stops the workers. The runtime is
+// dead afterwards: submitting more tasks (Run, RunAfter, RunMulti, ...)
+// panics, because no worker would ever execute them.
 func (rt *Runtime) Shutdown() { rt.pool.Shutdown() }
+
+// SchedStats returns a point-in-time snapshot of the underlying pool's
+// scheduler state: per-worker push/pop/steal/park/wake counts, global
+// queue activity, and the sampled submit→start latency histogram.
+func (rt *Runtime) SchedStats() sched.Snapshot { return rt.pool.Stats() }
 
 // dispatch routes a handler to the event loop when one is registered and
 // still accepting events; otherwise the handler runs inline.
@@ -237,14 +245,16 @@ type MultiTask[T any] struct {
 }
 
 // RunMulti launches fn(i) for every i in [0, n) as sub-tasks and returns
-// the multi-task handle. n of zero yields an immediately-complete handle.
+// the multi-task handle. n <= 0 yields an immediately-complete empty
+// handle (a negative n must not leave remaining below zero, or the
+// aggregate future would never complete and Results would hang forever).
 func RunMulti[T any](rt *Runtime, n int, fn func(i int) (T, error)) *MultiTask[T] {
 	m := &MultiTask[T]{rt: rt, agg: core.NewFuture[[]T]()}
-	m.remaining.Store(int32(n))
-	if n == 0 {
+	if n <= 0 {
 		m.agg.Complete(nil, nil)
 		return m
 	}
+	m.remaining.Store(int32(n))
 	m.tasks = make([]*Task[T], n)
 	for i := 0; i < n; i++ {
 		i := i

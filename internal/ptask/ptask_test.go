@@ -547,3 +547,45 @@ func BenchmarkDependenceChain(b *testing.B) {
 		c.Result()
 	}
 }
+
+// Regression: RunMulti with negative n used to store a negative remaining
+// counter, so the aggregate future never completed and Results hung
+// forever. n <= 0 must behave as the empty multi-task.
+func TestRunMultiNegativeN(t *testing.T) {
+	rt := NewRuntime(2)
+	defer rt.Shutdown()
+	for _, n := range []int{0, -1, -100} {
+		m := RunMulti(rt, n, func(i int) (int, error) { return i, nil })
+		done := make(chan struct{})
+		go func() {
+			m.Results()
+			close(done)
+		}()
+		select {
+		case <-done:
+		case <-time.After(5 * time.Second):
+			t.Fatalf("RunMulti(n=%d).Results() hung", n)
+		}
+		vals, err := m.Results()
+		if len(vals) != 0 || err != nil {
+			t.Fatalf("RunMulti(n=%d) = %v, %v", n, vals, err)
+		}
+		if m.Tasks() != nil {
+			t.Fatalf("RunMulti(n=%d) created sub-tasks", n)
+		}
+	}
+}
+
+// The runtime must expose the pool's scheduler snapshot.
+func TestRuntimeSchedStats(t *testing.T) {
+	rt := NewRuntime(3)
+	defer rt.Shutdown()
+	WaitAll(rt, RunMulti(rt, 64, func(i int) (int, error) { return i, nil }))
+	s := rt.SchedStats()
+	if len(s.Workers) != 3 {
+		t.Fatalf("snapshot workers = %d", len(s.Workers))
+	}
+	if s.Executed < 64 {
+		t.Fatalf("snapshot executed = %d, want >= 64", s.Executed)
+	}
+}

@@ -10,25 +10,49 @@
 // largest remaining subtrees). Both disciplines are implemented here.
 package sched
 
-import "sync"
+import "sync/atomic"
 
 // Deque is a double-ended work queue. The owner worker uses PushBottom and
 // PopBottom (LIFO); thieves use Steal, which removes from the top (FIFO
 // relative to the owner's pushes).
 //
-// The implementation is a mutex-protected ring buffer rather than the
-// lock-free Chase-Lev algorithm. The mutex version is correct under the Go
-// memory model without unsafe code, is plenty fast for the granularities
-// in this reproduction, and keeps the invariants testable; the scheduling
-// *policy* (LIFO owner / FIFO thief) — which is what the experiments
-// measure — is identical.
+// The implementation is the lock-free Chase–Lev deque [Chase & Lev, SPAA
+// 2005]: top and bottom are atomic indices into a circular array, thieves
+// CAS top to claim an element, and the owner only takes a CAS (on the same
+// top) when popping the last remaining element. PushBottom/PopBottom are
+// single-owner operations: exactly one goroutine at a time may act as the
+// owner (a later goroutine may take over once it observes a
+// happens-before edge to the previous owner, e.g. via WaitGroup.Wait).
+// Steal is safe from any number of concurrent thieves. Element slots are
+// atomic pointers, so the implementation is safe under the Go memory
+// model and clean under the race detector without unsafe code.
 type Deque[T any] struct {
-	mu    sync.Mutex
-	buf   []T
-	head  int // index of the oldest element (steal end)
-	size  int
-	stats DequeStats
+	top    atomic.Int64
+	bottom atomic.Int64
+	ring   atomic.Pointer[ring[T]]
+
+	pushes      atomic.Int64
+	pops        atomic.Int64
+	steals      atomic.Int64
+	failedPops  atomic.Int64
+	failedSteal atomic.Int64
 }
+
+// ring is one immutable-size circular array generation. The owner replaces
+// it with a doubled copy when full; thieves holding the old generation can
+// still safely read slots in [top, bottom) because growth never mutates
+// the old array.
+type ring[T any] struct {
+	mask int64
+	slot []atomic.Pointer[T]
+}
+
+func newRing[T any](n int64) *ring[T] {
+	return &ring[T]{mask: n - 1, slot: make([]atomic.Pointer[T], n)}
+}
+
+func (r *ring[T]) load(i int64) *T     { return r.slot[i&r.mask].Load() }
+func (r *ring[T]) store(i int64, v *T) { r.slot[i&r.mask].Store(v) }
 
 // DequeStats counts deque traffic; read via Stats after a run.
 type DequeStats struct {
@@ -40,81 +64,112 @@ type DequeStats struct {
 }
 
 // NewDeque returns an empty deque with the given initial capacity
-// (minimum 2).
+// (rounded up to a power of two, minimum 8).
 func NewDeque[T any](capacity int) *Deque[T] {
-	if capacity < 2 {
-		capacity = 2
+	n := int64(8)
+	for n < int64(capacity) {
+		n <<= 1
 	}
-	return &Deque[T]{buf: make([]T, capacity)}
+	d := &Deque[T]{}
+	d.ring.Store(newRing[T](n))
+	return d
 }
 
-// Len reports the current number of queued items.
+// Len reports the current number of queued items (a moment-in-time
+// estimate under concurrent access).
 func (d *Deque[T]) Len() int {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return d.size
+	b := d.bottom.Load()
+	t := d.top.Load()
+	if b < t {
+		return 0
+	}
+	return int(b - t)
 }
 
-// PushBottom adds an item at the owner's end.
+// PushBottom adds an item at the owner's end. Owner-only.
 func (d *Deque[T]) PushBottom(v T) {
-	d.mu.Lock()
-	if d.size == len(d.buf) {
-		d.grow()
+	b := d.bottom.Load()
+	t := d.top.Load()
+	r := d.ring.Load()
+	if b-t >= int64(len(r.slot)) {
+		r = d.grow(r, t, b)
 	}
-	d.buf[(d.head+d.size)%len(d.buf)] = v
-	d.size++
-	d.stats.Pushes++
-	d.mu.Unlock()
+	r.store(b, &v)
+	d.bottom.Store(b + 1)
+	d.pushes.Add(1)
+}
+
+// grow publishes a doubled ring holding the live elements [t, b). The old
+// ring is left untouched so in-flight thieves can still read from it.
+func (d *Deque[T]) grow(old *ring[T], t, b int64) *ring[T] {
+	nr := newRing[T](2 * int64(len(old.slot)))
+	for i := t; i < b; i++ {
+		nr.store(i, old.load(i))
+	}
+	d.ring.Store(nr)
+	return nr
 }
 
 // PopBottom removes and returns the most recently pushed item (LIFO).
-// The second result is false if the deque was empty.
+// The second result is false if the deque was empty. Owner-only.
 func (d *Deque[T]) PopBottom() (T, bool) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
 	var zero T
-	if d.size == 0 {
-		d.stats.FailedPops++
+	b := d.bottom.Load() - 1
+	r := d.ring.Load()
+	d.bottom.Store(b)
+	t := d.top.Load()
+	if t > b {
+		// Deque was empty; restore the canonical empty state.
+		d.bottom.Store(t)
+		d.failedPops.Add(1)
 		return zero, false
 	}
-	d.size--
-	idx := (d.head + d.size) % len(d.buf)
-	v := d.buf[idx]
-	d.buf[idx] = zero
-	d.stats.Pops++
-	return v, true
+	vp := r.load(b)
+	if t == b {
+		// Last element: race thieves for it via the top index.
+		if !d.top.CompareAndSwap(t, t+1) {
+			d.bottom.Store(t + 1)
+			d.failedPops.Add(1)
+			return zero, false
+		}
+		d.bottom.Store(t + 1)
+		d.pops.Add(1)
+		return *vp, true
+	}
+	// More than one element left: the bottom end is owner-exclusive.
+	r.store(b, nil)
+	d.pops.Add(1)
+	return *vp, true
 }
 
 // Steal removes and returns the oldest item (FIFO end), as a thief would.
-// The second result is false if the deque was empty.
+// The second result is false if the deque was empty or the thief lost a
+// race for the element. Safe from any goroutine.
 func (d *Deque[T]) Steal() (T, bool) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
 	var zero T
-	if d.size == 0 {
-		d.stats.FailedSteal++
+	t := d.top.Load()
+	b := d.bottom.Load()
+	if t >= b {
+		d.failedSteal.Add(1)
 		return zero, false
 	}
-	v := d.buf[d.head]
-	d.buf[d.head] = zero
-	d.head = (d.head + 1) % len(d.buf)
-	d.size--
-	d.stats.Steals++
-	return v, true
+	r := d.ring.Load()
+	vp := r.load(t)
+	if !d.top.CompareAndSwap(t, t+1) {
+		d.failedSteal.Add(1)
+		return zero, false
+	}
+	d.steals.Add(1)
+	return *vp, true
 }
 
 // Stats returns a snapshot of the deque's traffic counters.
 func (d *Deque[T]) Stats() DequeStats {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return d.stats
-}
-
-func (d *Deque[T]) grow() {
-	nb := make([]T, 2*len(d.buf))
-	for i := 0; i < d.size; i++ {
-		nb[i] = d.buf[(d.head+i)%len(d.buf)]
+	return DequeStats{
+		Pushes:      d.pushes.Load(),
+		Pops:        d.pops.Load(),
+		Steals:      d.steals.Load(),
+		FailedPops:  d.failedPops.Load(),
+		FailedSteal: d.failedSteal.Load(),
 	}
-	d.buf = nb
-	d.head = 0
 }

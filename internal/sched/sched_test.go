@@ -352,3 +352,196 @@ func BenchmarkFIFO(b *testing.B) {
 		q.Pop()
 	}
 }
+
+// ---- Chase–Lev property tests (DESIGN.md §6 invariants) ----
+
+// Property: against a reference slice model, any single-threaded
+// interleaving of PushBottom/PopBottom/Steal behaves exactly like a
+// deque — owner LIFO, thief FIFO, element-for-element.
+func TestDequeMatchesReferenceModel(t *testing.T) {
+	f := func(ops []uint8) bool {
+		d := NewDeque[int](2)
+		var model []int // model[0] is the steal end
+		next := 0
+		for _, op := range ops {
+			switch op % 4 {
+			case 0, 1:
+				d.PushBottom(next)
+				model = append(model, next)
+				next++
+			case 2:
+				v, ok := d.PopBottom()
+				if ok != (len(model) > 0) {
+					return false
+				}
+				if ok {
+					want := model[len(model)-1]
+					model = model[:len(model)-1]
+					if v != want {
+						return false
+					}
+				}
+			case 3:
+				v, ok := d.Steal()
+				if ok != (len(model) > 0) {
+					return false
+				}
+				if ok {
+					want := model[0]
+					model = model[1:]
+					if v != want {
+						return false
+					}
+				}
+			}
+		}
+		return d.Len() == len(model)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: under a concurrent owner (pushes and pops driven by a random
+// script) and multiple thieves, no element is lost or duplicated, and
+// each thief's stolen values arrive in strictly increasing push order
+// (the FIFO steal end only moves forward).
+func TestDequeConcurrentConservationQuick(t *testing.T) {
+	f := func(script []uint8, nthieves uint8) bool {
+		d := NewDeque[int](2)
+		thieves := int(nthieves%3) + 1
+		if len(script) < 8 {
+			script = append(script, 1, 1, 2, 1, 1, 1, 2, 1)
+		}
+		taken := make([][]int, thieves+1) // [0] = owner, rest = thieves
+		stop := make(chan struct{})
+		var wg sync.WaitGroup
+		for th := 1; th <= thieves; th++ {
+			th := th
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				prev := -1
+				for {
+					if v, ok := d.Steal(); ok {
+						if v <= prev {
+							t.Errorf("thief %d stole %d after %d", th, v, prev)
+						}
+						prev = v
+						taken[th] = append(taken[th], v)
+						continue
+					}
+					select {
+					case <-stop:
+						return
+					default:
+					}
+				}
+			}()
+		}
+		pushed := 0
+		for _, op := range script {
+			if op%3 != 2 {
+				d.PushBottom(pushed)
+				pushed++
+			} else if v, ok := d.PopBottom(); ok {
+				taken[0] = append(taken[0], v)
+			}
+		}
+		// Drain remaining as the owner, then stop the thieves.
+		for {
+			v, ok := d.PopBottom()
+			if !ok {
+				break
+			}
+			taken[0] = append(taken[0], v)
+		}
+		close(stop)
+		wg.Wait()
+		// Thieves may have raced the final drain; collect their tail too.
+		for {
+			v, ok := d.Steal()
+			if !ok {
+				break
+			}
+			taken[0] = append(taken[0], v)
+		}
+		seen := make(map[int]bool, pushed)
+		for _, tk := range taken {
+			for _, v := range tk {
+				if seen[v] || v < 0 || v >= pushed {
+					return false
+				}
+				seen[v] = true
+			}
+		}
+		return len(seen) == pushed
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The deque must keep working across many growth generations while
+// thieves hold older ring references.
+func TestDequeGrowthUnderConcurrentSteals(t *testing.T) {
+	d := NewDeque[int](2)
+	const n = 50000
+	var stolen sync.Map
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for th := 0; th < 3; th++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if v, ok := d.Steal(); ok {
+					if _, dup := stolen.LoadOrStore(v, true); dup {
+						t.Errorf("duplicate %d", v)
+					}
+					continue
+				}
+				select {
+				case <-stop:
+					return
+				default:
+				}
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		d.PushBottom(i)
+		if i%3 == 0 {
+			if v, ok := d.PopBottom(); ok {
+				if _, dup := stolen.LoadOrStore(v, true); dup {
+					t.Errorf("duplicate popped %d", v)
+				}
+			}
+		}
+	}
+	for {
+		v, ok := d.PopBottom()
+		if !ok {
+			break
+		}
+		if _, dup := stolen.LoadOrStore(v, true); dup {
+			t.Errorf("duplicate drained %d", v)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	for {
+		v, ok := d.Steal()
+		if !ok {
+			break
+		}
+		if _, dup := stolen.LoadOrStore(v, true); dup {
+			t.Errorf("duplicate late-stolen %d", v)
+		}
+	}
+	count := 0
+	stolen.Range(func(_, _ any) bool { count++; return true })
+	if count != n {
+		t.Fatalf("conserved %d of %d", count, n)
+	}
+}
