@@ -207,6 +207,33 @@ func BenchmarkA5StealLatency(b *testing.B) {
 	}
 }
 
+// ---- Ablation A6: Pyjama schedule choice on uniform vs skewed loops ----
+//
+// Drives the A6 registry experiment (static/dynamic/guided/auto over both
+// cost profiles, observed through RegionStats) and reports the claim
+// counts plus auto's measured spread on the skewed loop.
+
+func BenchmarkA6ScheduleAblation(b *testing.B) {
+	e, ok := experiments.ByID("A6")
+	if !ok {
+		b.Fatal("A6 experiment not registered")
+	}
+	cfg := experiments.QuickConfig()
+	var dynChunks, guidedChunks, spread float64
+	for i := 0; i < b.N; i++ {
+		res := e.Run(cfg)
+		if !res.AllPassed() {
+			b.Fatalf("A6 schedule findings failed: %v", res.FailedFindings())
+		}
+		dynChunks = res.Metrics["a6_dynamic_chunks"]
+		guidedChunks = res.Metrics["a6_guided_chunks"]
+		spread = res.Metrics["a6_skewed_spread"]
+	}
+	b.ReportMetric(dynChunks, "dynamic_chunks")
+	b.ReportMetric(guidedChunks, "guided_chunks")
+	b.ReportMetric(spread, "skewed_spread")
+}
+
 // ---- Model-overhead comparison: cost per task/iteration in each model ----
 
 func BenchmarkModelOverheadPTask(b *testing.B) {

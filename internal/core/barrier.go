@@ -1,0 +1,285 @@
+package core
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// ErrBarrierAborted is the panic value delivered to parties blocked in
+// Await when the barrier is aborted (because a sibling died and can never
+// arrive).
+var ErrBarrierAborted = errors.New("core: barrier aborted")
+
+// barrierFanIn is the arity of the combining tree: how many arrivals each
+// tree node absorbs before forwarding one arrival to its parent. Four
+// keeps the tree depth at two for team sizes up to 16 while spreading
+// arrival traffic over multiple cache lines.
+const barrierFanIn = 4
+
+// barrierSpin is the busy-spin budget a waiter burns before yielding. On a
+// single-P runtime spinning can only delay the arrivals being waited for,
+// so the budget is zero there and waiters go straight to Gosched.
+var barrierSpin = func() int {
+	if runtime.GOMAXPROCS(0) > 1 {
+		return 128
+	}
+	return 0
+}()
+
+// barrierYields is how many Gosched rounds a waiter tries after spinning
+// and before parking on the generation channel. On small machines the
+// remaining arrivals usually complete within these yields, so the channel
+// (and its wakeup syscalls) is never touched.
+const barrierYields = 4
+
+// barrierNode is one combining-tree node, padded so concurrent arrivals at
+// sibling nodes do not false-share.
+type barrierNode struct {
+	count  atomic.Int32 // arrivals still missing this generation
+	init   int32        // arrivals expected per generation
+	parent int32        // index into Barrier.nodes; -1 for the root
+	_      [52]byte
+}
+
+// barGen is one barrier generation. A fresh barGen is installed by each
+// generation's releaser; waiters identify their generation by the pointer,
+// which doubles as the sense flag of a classic sense-reversing barrier.
+type barGen struct {
+	gen     int
+	tickets atomic.Int64 // position allocator for anonymous Await callers
+	// done is the park channel, created lazily by the first waiter that
+	// exhausts its spin/yield budget and closed by the releaser. Most
+	// generations on a lightly loaded machine never allocate it.
+	done atomic.Pointer[chan struct{}]
+}
+
+// BarrierStats is one party's cumulative barrier interaction counters:
+// how many times it arrived, how many releases it caught while
+// spinning/yielding, and how many times it had to park on the generation
+// channel. SpinReleases + Parks counts the generations the party waited
+// for (the remainder were generations it completed itself as the serial
+// thread).
+type BarrierStats struct {
+	Waits        int64
+	SpinReleases int64
+	Parks        int64
+}
+
+// barrierCounters is the padded per-party storage behind BarrierStats.
+type barrierCounters struct {
+	waits atomic.Int64
+	spins atomic.Int64
+	parks atomic.Int64
+	_     [40]byte
+}
+
+// Barrier is a reusable (cyclic) barrier for a fixed number of parties,
+// implemented as a sense-reversing combining tree: arrivals count down at
+// tree leaves and propagate upward, so parties contend on at most
+// barrierFanIn-way shared counters instead of one central mutex. Waiters
+// spin briefly, yield, then park on a lazily created per-generation
+// channel; the releaser (the last arrival, which is also the generation's
+// serial thread) resets the tree and frees them.
+//
+// Parties with a stable identity should use AwaitAs, which pins each party
+// to a fixed tree leaf; anonymous parties use Await, which assigns leaf
+// positions per generation from a ticket counter. The two styles must not
+// be mixed on one barrier: both rely on the generation's positions forming
+// an exact permutation of [0, parties).
+type Barrier struct {
+	parties int
+	nodes   []barrierNode
+	state   atomic.Pointer[barGen]
+	stats   []barrierCounters
+
+	aborted   atomic.Bool
+	abortCh   chan struct{}
+	abortOnce sync.Once
+}
+
+// NewBarrier creates a barrier for parties participants (minimum 1).
+func NewBarrier(parties int) *Barrier {
+	if parties < 1 {
+		parties = 1
+	}
+	b := &Barrier{
+		parties: parties,
+		stats:   make([]barrierCounters, parties),
+		abortCh: make(chan struct{}),
+	}
+	// Level sizes of the combining tree: level 0 absorbs the parties, each
+	// further level absorbs the completions of the one below, until a
+	// single root remains.
+	sizes := []int{}
+	arrivals := parties
+	for {
+		n := (arrivals + barrierFanIn - 1) / barrierFanIn
+		sizes = append(sizes, n)
+		if n == 1 {
+			break
+		}
+		arrivals = n
+	}
+	total := 0
+	for _, n := range sizes {
+		total += n
+	}
+	b.nodes = make([]barrierNode, total)
+	start := 0
+	arrivals = parties
+	for _, n := range sizes {
+		for j := 0; j < n; j++ {
+			in := barrierFanIn
+			if j == n-1 {
+				in = arrivals - barrierFanIn*(n-1)
+			}
+			nd := &b.nodes[start+j]
+			nd.init = int32(in)
+			nd.count.Store(int32(in))
+			// Parent is the j/fanIn'th node of the next level (which
+			// starts right after this one); the root overwrites below.
+			nd.parent = int32(start + n + j/barrierFanIn)
+		}
+		start += n
+		arrivals = n
+	}
+	b.nodes[total-1].parent = -1
+	b.state.Store(&barGen{})
+	return b
+}
+
+// Await blocks until all parties have called Await, then releases them
+// all. It returns the index of this barrier generation (0, 1, 2, ...), and
+// true for exactly one caller per generation (the "serial thread", which
+// OpenMP uses for single-after-barrier semantics).
+// Await panics with ErrBarrierAborted (in every blocked or future caller)
+// once Abort has been called, so a dead sibling cannot deadlock the team.
+func (b *Barrier) Await() (gen int, serial bool) {
+	if b.aborted.Load() {
+		panic(ErrBarrierAborted)
+	}
+	g := b.state.Load()
+	return b.await(g, int(g.tickets.Add(1)-1)%b.parties)
+}
+
+// AwaitAs is Await for a party with a stable identity id in
+// [0, Parties()): the party always arrives at the same tree leaf, and its
+// wait behaviour is recorded under PartyStats(id). The ids of one
+// generation's callers must form a permutation of [0, Parties()) — the
+// SPMD team contract. Out-of-range ids fall back to ticket assignment.
+func (b *Barrier) AwaitAs(id int) (gen int, serial bool) {
+	if b.aborted.Load() {
+		panic(ErrBarrierAborted)
+	}
+	g := b.state.Load()
+	if id < 0 || id >= b.parties {
+		id = int(g.tickets.Add(1)-1) % b.parties
+	}
+	return b.await(g, id)
+}
+
+func (b *Barrier) await(g *barGen, pos int) (int, bool) {
+	st := &b.stats[pos]
+	st.waits.Add(1)
+	// Climb: count down at the leaf; the last arrival at each node carries
+	// one arrival to the parent. The party that completes the root is the
+	// generation's last arrival and becomes releaser + serial thread.
+	ni := pos / barrierFanIn
+	for {
+		nd := &b.nodes[ni]
+		if nd.count.Add(-1) > 0 {
+			break
+		}
+		if nd.parent < 0 {
+			// Reset the tree before publishing the new generation: no
+			// party can re-arrive until it observes the new state.
+			for i := range b.nodes {
+				b.nodes[i].count.Store(b.nodes[i].init)
+			}
+			b.state.Store(&barGen{gen: g.gen + 1})
+			if ch := g.done.Load(); ch != nil {
+				close(*ch)
+			}
+			return g.gen, true
+		}
+		ni = int(nd.parent)
+	}
+	// Waiter: spin, then yield, then park. The generation is over the
+	// moment the state pointer moves.
+	for i := 0; i < barrierSpin; i++ {
+		if b.state.Load() != g {
+			st.spins.Add(1)
+			return g.gen, false
+		}
+	}
+	for i := 0; i < barrierYields; i++ {
+		runtime.Gosched()
+		if b.state.Load() != g {
+			st.spins.Add(1)
+			return g.gen, false
+		}
+		if b.aborted.Load() {
+			if b.state.Load() != g {
+				st.spins.Add(1)
+				return g.gen, false
+			}
+			panic(ErrBarrierAborted)
+		}
+	}
+	chp := g.done.Load()
+	if chp == nil {
+		ch := make(chan struct{})
+		if g.done.CompareAndSwap(nil, &ch) {
+			chp = &ch
+		} else {
+			chp = g.done.Load()
+		}
+	}
+	// The releaser loads g.done only after storing the next state, so if
+	// it missed the channel installed above, this recheck sees the new
+	// state (both are sequentially consistent atomics).
+	if b.state.Load() != g {
+		st.spins.Add(1)
+		return g.gen, false
+	}
+	st.parks.Add(1)
+	select {
+	case <-*chp:
+		return g.gen, false
+	case <-b.abortCh:
+		if b.state.Load() != g {
+			// The generation completed concurrently with the abort;
+			// this party's barrier succeeded.
+			return g.gen, false
+		}
+		panic(ErrBarrierAborted)
+	}
+}
+
+// Abort permanently breaks the barrier: every party blocked in Await (and
+// every later caller) panics with ErrBarrierAborted. Used when a party
+// dies and can never arrive.
+func (b *Barrier) Abort() {
+	b.aborted.Store(true)
+	b.abortOnce.Do(func() { close(b.abortCh) })
+}
+
+// Parties returns the number of participants.
+func (b *Barrier) Parties() int { return b.parties }
+
+// PartyStats returns the cumulative wait counters recorded for party id by
+// AwaitAs. Anonymous Await calls are credited to the per-generation ticket
+// position, so aggregate totals remain meaningful either way.
+func (b *Barrier) PartyStats(id int) BarrierStats {
+	if id < 0 || id >= b.parties {
+		return BarrierStats{}
+	}
+	st := &b.stats[id]
+	return BarrierStats{
+		Waits:        st.waits.Load(),
+		SpinReleases: st.spins.Load(),
+		Parks:        st.parks.Load(),
+	}
+}

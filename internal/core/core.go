@@ -9,7 +9,6 @@
 package core
 
 import (
-	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -479,73 +478,6 @@ func (p *Pool) Stats() sched.Snapshot {
 	return snap
 }
 
-// ErrBarrierAborted is the panic value delivered to parties blocked in
-// Await when the barrier is aborted (because a sibling died and can never
-// arrive).
-var ErrBarrierAborted = errors.New("core: barrier aborted")
-
-// Barrier is a reusable (cyclic) barrier for a fixed number of parties.
-type Barrier struct {
-	mu      sync.Mutex
-	cond    *sync.Cond
-	parties int
-	waiting int
-	gen     int
-	aborted bool
-}
-
-// NewBarrier creates a barrier for parties participants (minimum 1).
-func NewBarrier(parties int) *Barrier {
-	if parties < 1 {
-		parties = 1
-	}
-	b := &Barrier{parties: parties}
-	b.cond = sync.NewCond(&b.mu)
-	return b
-}
-
-// Await blocks until all parties have called Await, then releases them
-// all. It returns the index of this barrier generation (0, 1, 2, ...), and
-// true for exactly one caller per generation (the "serial thread", which
-// OpenMP uses for single-after-barrier semantics).
-// Await panics with ErrBarrierAborted (in every blocked or future caller)
-// once Abort has been called, so a dead sibling cannot deadlock the team.
-func (b *Barrier) Await() (gen int, serial bool) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	if b.aborted {
-		panic(ErrBarrierAborted)
-	}
-	gen = b.gen
-	b.waiting++
-	if b.waiting == b.parties {
-		b.waiting = 0
-		b.gen++
-		b.cond.Broadcast()
-		return gen, true
-	}
-	for gen == b.gen && !b.aborted {
-		b.cond.Wait()
-	}
-	if b.aborted && gen == b.gen {
-		panic(ErrBarrierAborted)
-	}
-	return gen, false
-}
-
-// Abort permanently breaks the barrier: every party blocked in Await (and
-// every later caller) panics with ErrBarrierAborted. Used when a party
-// dies and can never arrive.
-func (b *Barrier) Abort() {
-	b.mu.Lock()
-	b.aborted = true
-	b.cond.Broadcast()
-	b.mu.Unlock()
-}
-
-// Parties returns the number of participants.
-func (b *Barrier) Parties() int { return b.parties }
-
 // Chunk is a half-open index range [Lo, Hi).
 type Chunk struct{ Lo, Hi int }
 
@@ -574,6 +506,30 @@ func StaticChunks(n, p int) []Chunk {
 		lo += size
 	}
 	return chunks
+}
+
+// StaticBlock returns the i'th of p balanced contiguous chunks of [0, n)
+// — StaticChunks(n, p)[i] without allocating the slice, for the static
+// schedule's hot path. ok is false when party i gets no iterations
+// (n < p, out-of-range i, or an empty range).
+func StaticBlock(n, p, i int) (Chunk, bool) {
+	if n <= 0 || p <= 0 || i < 0 || i >= p {
+		return Chunk{}, false
+	}
+	if p > n {
+		p = n
+		if i >= p {
+			return Chunk{}, false
+		}
+	}
+	base, rem := n/p, n%p
+	lo := i*base + rem
+	size := base
+	if i < rem {
+		lo = i*base + i
+		size++
+	}
+	return Chunk{lo, lo + size}, true
 }
 
 // BlockChunks splits [0, n) into fixed-size blocks of the given chunk size

@@ -89,10 +89,11 @@ func (s *MDSystem) ComputeForcesSequential() {
 }
 
 // ComputeForcesParallel is the Pyjama parallelisation: the O(n²) force
-// loop workshared over i with a dynamic schedule (iterations are uniform
-// here, but the original benchmark uses dynamic to absorb cutoff skew).
+// loop workshared over i with schedule(auto) — the runtime calibrates a
+// prefix of the loop and picks static blocks (uniform cost, as here) or
+// dynamic claiming with a computed chunk (when cutoff skew dominates).
 func (s *MDSystem) ComputeForcesParallel(nthreads int) {
-	pyjama.ParallelFor(nthreads, len(s.Force), pyjama.Dynamic(8), func(i int) {
+	pyjama.ParallelFor(nthreads, len(s.Force), pyjama.Auto(), func(i int) {
 		s.Force[i] = s.forceOn(i)
 	})
 }

@@ -1,0 +1,244 @@
+package pyjama
+
+// Tests for the lock-free worksharing hot path (ISSUE 2): slot tables,
+// SPMD-mismatch detection, combine-once reductions, schedule(auto), region
+// stats, and a mixed-construct stress for the race detector.
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"parc751/internal/reduction"
+)
+
+func TestSlotTableSegments(t *testing.T) {
+	var st slotTable[int]
+	// Crossing several segment boundaries: segments hold 8, 16, 32, ...
+	const n = 200
+	for i := 0; i < n; i++ {
+		i := i
+		v, won := st.getOrCreate(i, func() *int { return &i })
+		if !won || *v != i {
+			t.Fatalf("slot %d: won=%v v=%d", i, won, *v)
+		}
+	}
+	for i := 0; i < n; i++ {
+		if v := st.get(i); v == nil || *v != i {
+			t.Fatalf("slot %d: get=%v", i, v)
+		}
+		// A second arrival adopts the first arrival's value.
+		v, won := st.getOrCreate(i, func() *int { x := -1; return &x })
+		if won || *v != i {
+			t.Fatalf("slot %d: second arrival won=%v v=%d", i, won, *v)
+		}
+	}
+	if st.get(n) != nil {
+		t.Error("unset slot not nil")
+	}
+}
+
+func TestSlotTableConcurrentFirstArrival(t *testing.T) {
+	var st slotTable[int]
+	const goroutines = 8
+	var wins atomic.Int32
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for slot := 0; slot < 100; slot++ {
+				mine := g
+				v, won := st.getOrCreate(slot, func() *int { return &mine })
+				if won {
+					wins.Add(1)
+				}
+				if *v < 0 || *v >= goroutines {
+					t.Errorf("slot %d: bogus value %d", slot, *v)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if wins.Load() != 100 {
+		t.Fatalf("%d wins, want exactly one per slot (100)", wins.Load())
+	}
+}
+
+func TestSPMDMismatchPanicsWithDebug(t *testing.T) {
+	prev := SetDebug(true)
+	defer SetDebug(prev)
+	defer func() {
+		v := recover()
+		if v == nil {
+			t.Fatal("mismatched worksharing loop did not panic with debug on")
+		}
+		if msg := fmt.Sprint(v); !strings.Contains(msg, "SPMD mismatch") {
+			t.Fatalf("panic %q does not describe the SPMD mismatch", msg)
+		}
+	}()
+	Parallel(2, func(tc *TC) {
+		// The team disagrees about the loop bound: whichever member arrives
+		// second must detect the mismatch.
+		n := 10
+		if tc.ThreadNum() == 1 {
+			n = 20
+		}
+		tc.For(n, Static(0), func(int) {})
+	})
+}
+
+func TestSPMDMismatchSilentWithoutDebug(t *testing.T) {
+	prev := SetDebug(false)
+	defer SetDebug(prev)
+	// Without debug a mismatched member silently shares the first
+	// arrival's loop state — the historical behaviour. The result is
+	// unspecified (a dynamic claim consumed against the smaller bound can
+	// drop iterations: exactly the corruption SetDebug(true) diagnoses),
+	// but it must not panic and stays within the two bounds.
+	var iters atomic.Int64
+	Parallel(2, func(tc *TC) {
+		n := 10
+		if tc.ThreadNum() == 1 {
+			n = 20
+		}
+		tc.For(n, Dynamic(1), func(int) { iters.Add(1) })
+	})
+	if got := iters.Load(); got < 10 || got > 20 {
+		t.Fatalf("ran %d iterations, want within [10, 20]", got)
+	}
+}
+
+func TestForReduceCombinesOncePerMember(t *testing.T) {
+	const threads, n = 4, 100
+	var combines atomic.Int64
+	r := reduction.Reducer[int]{
+		Identity: func() int { return 0 },
+		Combine: func(a, b int) int {
+			combines.Add(1)
+			return a + b
+		},
+	}
+	Parallel(threads, func(tc *TC) {
+		got := ForReduce(tc, n, Static(0), r, func(i, acc int) int { return acc + i })
+		if got != n*(n-1)/2 {
+			t.Errorf("thread %d: sum=%d, want %d", tc.ThreadNum(), got, n*(n-1)/2)
+		}
+	})
+	// The serial thread folds each member's partial into the identity once:
+	// exactly T combines, not the T² of a combine-per-member scheme.
+	if got := combines.Load(); got != threads {
+		t.Fatalf("Combine ran %d times, want %d (once per team member)", got, threads)
+	}
+}
+
+func TestAutoScheduleCoverage(t *testing.T) {
+	const threads, n = 4, 3000
+	counts := make([]atomic.Int32, n)
+	stats := ParallelWithStats(threads, func(tc *TC) {
+		tc.For(n, Auto(), func(i int) { counts[i].Add(1) })
+	})
+	for i := range counts {
+		if c := counts[i].Load(); c != 1 {
+			t.Fatalf("iteration %d ran %d times", i, c)
+		}
+	}
+	if len(stats.Auto) != 1 {
+		t.Fatalf("%d auto decisions recorded, want 1", len(stats.Auto))
+	}
+	d := stats.Auto[0]
+	if d.Mode != "static" && d.Mode != "dynamic" {
+		t.Fatalf("auto decision %q, want a committed mode", d.Mode)
+	}
+	if d.CalibEnd <= 0 || d.CalibEnd > n {
+		t.Fatalf("calibration prefix %d out of range", d.CalibEnd)
+	}
+}
+
+func TestAutoTinyLoop(t *testing.T) {
+	// Loops smaller than the calibration prefix must still cover exactly.
+	for _, n := range []int{0, 1, 3, 7} {
+		var iters atomic.Int64
+		Parallel(4, func(tc *TC) {
+			tc.For(n, Auto(), func(int) { iters.Add(1) })
+		})
+		if got := iters.Load(); got != int64(n) {
+			t.Fatalf("n=%d: ran %d iterations", n, got)
+		}
+	}
+}
+
+func TestRegionStatsCounts(t *testing.T) {
+	const threads, n, chunk = 4, 1000, 7
+	stats := ParallelWithStats(threads, func(tc *TC) {
+		tc.For(n, Dynamic(chunk), func(int) {})
+	})
+	if got := stats.TotalIterations(); got != n {
+		t.Errorf("TotalIterations=%d, want %d", got, n)
+	}
+	wantChunks := int64((n + chunk - 1) / chunk)
+	if got := stats.TotalChunks(); got != wantChunks {
+		t.Errorf("TotalChunks=%d, want %d", got, wantChunks)
+	}
+	if len(stats.Threads) != threads {
+		t.Fatalf("%d thread rows, want %d", len(stats.Threads), threads)
+	}
+	for _, ts := range stats.Threads {
+		if ts.Barrier.Waits < 1 {
+			t.Errorf("thread %d: Waits=%d, want >=1 (the For's implicit barrier)",
+				ts.ID, ts.Barrier.Waits)
+		}
+	}
+	if out := stats.String(); !strings.Contains(out, "Pyjama region stats") {
+		t.Error("String() missing the stats table")
+	}
+}
+
+// TestMixedConstructStress interleaves For/Single/Ordered/ForReduce/
+// Critical across repeated rounds — primarily a race-detector workload for
+// the lock-free registries and the tree barrier.
+func TestMixedConstructStress(t *testing.T) {
+	const threads, rounds, n = 4, 30, 64
+	sum := reduction.Reducer[int]{
+		Identity: func() int { return 0 },
+		Combine:  func(a, b int) int { return a + b },
+	}
+	var singles, criticals atomic.Int64
+	var orderTrace []int
+	Parallel(threads, func(tc *TC) {
+		for r := 0; r < rounds; r++ {
+			var local atomic.Int64
+			tc.For(n, Dynamic(3), func(i int) { local.Add(int64(i)) })
+			tc.Single(func() { singles.Add(1) })
+			got := ForReduce(tc, n, Guided(2), sum, func(i, acc int) int { return acc + i })
+			if got != n*(n-1)/2 {
+				t.Errorf("round %d: reduce=%d", r, got)
+			}
+			tc.ForNoWait(8, Static(1), func(i int) {
+				tc.Ordered(i, func() { orderTrace = append(orderTrace, i) })
+			})
+			tc.Barrier()
+			tc.Critical("c", func() { criticals.Add(1) })
+		}
+	})
+	if singles.Load() != rounds {
+		t.Errorf("Single ran %d times, want %d", singles.Load(), rounds)
+	}
+	if criticals.Load() != threads*rounds {
+		t.Errorf("Critical ran %d times, want %d", criticals.Load(), threads*rounds)
+	}
+	if len(orderTrace) != 8*rounds {
+		t.Fatalf("ordered trace has %d entries, want %d", len(orderTrace), 8*rounds)
+	}
+	for r := 0; r < rounds; r++ {
+		for i := 0; i < 8; i++ {
+			if orderTrace[r*8+i] != i {
+				t.Fatalf("round %d: ordered sequence broken at %d: %v",
+					r, i, orderTrace[r*8:r*8+8])
+			}
+		}
+	}
+}

@@ -22,7 +22,9 @@ package pyjama
 import (
 	"errors"
 	"fmt"
+	"os"
 	"sync"
+	"sync/atomic"
 
 	"parc751/internal/core"
 )
@@ -46,28 +48,61 @@ type region struct {
 	n       int
 	barrier *core.Barrier
 
-	mu       sync.Mutex
-	loops    map[int]*loopState
-	singles  map[int]bool
-	reds     map[int]*redState
+	// Construct registries: lock-free append-only slot tables keyed by
+	// each construct's SPMD sequence number, claimed first-arrival-wins.
+	// Entering a For/Single/ForReduce never takes a region lock.
+	loops   slotTable[loopState]
+	singles slotTable[struct{}]
+	reds    slotTable[redState]
+
+	// Named critical sections are cold (each name resolves once per name,
+	// then contends only on its own mutex), so a plain guarded map is fine.
+	critMu   sync.Mutex
 	critical map[string]*sync.Mutex
+
+	// counters holds the per-thread worksharing tallies behind
+	// RegionStats. Each slot is written only by its owning team member;
+	// the region join publishes them to the stats reader.
+	counters []threadCounters
 }
+
+// spmdDebug enables the SPMD-mismatch check on worksharing constructs
+// (see SetDebug). It defaults to the PYJAMA_DEBUG environment variable.
+var spmdDebug atomic.Bool
+
+func init() { spmdDebug.Store(os.Getenv("PYJAMA_DEBUG") != "") }
+
+// SetDebug toggles Pyjama's debug checks, currently the SPMD-mismatch
+// detector: with debug on, a team member that reaches a worksharing
+// construct with a different (n, schedule) than the slot's first arrival
+// panics with a diagnostic instead of silently running the first
+// arrival's loop. The initial value comes from the PYJAMA_DEBUG
+// environment variable. It returns the previous setting.
+func SetDebug(on bool) bool { return spmdDebug.Swap(on) }
 
 // Parallel executes body on a team of nthreads concurrent members — the
 // "#omp parallel num_threads(n)" construct, with the implicit join at the
 // region end. nthreads < 1 is clamped to 1. A panic in any team member is
 // re-raised on the caller after all members finish.
 func Parallel(nthreads int, body func(tc *TC)) {
+	runRegion(nthreads, body)
+}
+
+// ParallelWithStats is Parallel plus observability: after the region
+// joins, it returns the per-thread worksharing and barrier counters (the
+// Pyjama counterpart of sched.Snapshot — see RegionStats).
+func ParallelWithStats(nthreads int, body func(tc *TC)) RegionStats {
+	return runRegion(nthreads, body).statsSnapshot()
+}
+
+func runRegion(nthreads int, body func(tc *TC)) *region {
 	if nthreads < 1 {
 		nthreads = 1
 	}
 	reg := &region{
 		n:        nthreads,
 		barrier:  core.NewBarrier(nthreads),
-		loops:    map[int]*loopState{},
-		singles:  map[int]bool{},
-		reds:     map[int]*redState{},
-		critical: map[string]*sync.Mutex{},
+		counters: make([]threadCounters, nthreads),
 	}
 	errs := make([]error, nthreads)
 	var wg sync.WaitGroup
@@ -103,6 +138,7 @@ func Parallel(nthreads int, body func(tc *TC)) {
 	if cascade != nil {
 		panic(cascade)
 	}
+	return reg
 }
 
 // ThreadNum returns this member's index in [0, NumThreads) — OpenMP's
@@ -113,7 +149,16 @@ func (tc *TC) ThreadNum() int { return tc.id }
 func (tc *TC) NumThreads() int { return tc.reg.n }
 
 // Barrier blocks until every team member reaches it — "#omp barrier".
-func (tc *TC) Barrier() { tc.reg.barrier.Await() }
+// Each member arrives at its own leaf of the combining-tree barrier.
+func (tc *TC) Barrier() { tc.reg.barrier.AwaitAs(tc.id) }
+
+// barrierSerial is Barrier returning whether this member was the
+// generation's serial thread (the last arrival), which worksharing
+// constructs use for combine-once semantics.
+func (tc *TC) barrierSerial() bool {
+	_, serial := tc.reg.barrier.AwaitAs(tc.id)
+	return serial
+}
 
 // Master runs fn on thread 0 only, with no implied barrier — "#omp master".
 func (tc *TC) Master(fn func()) {
@@ -129,18 +174,17 @@ func (tc *TC) Single(fn func()) {
 	tc.Barrier()
 }
 
+// singleToken is the shared claim marker for single slots: the slot table
+// only cares which CAS won, so every claimed slot stores the same pointer.
+var singleToken = new(struct{})
+
 // SingleNoWait is "#omp single nowait": exactly one member runs fn and the
 // rest continue immediately. It reports whether this member was the one.
+// The claim is a lock-free first-arrival CAS on the construct's slot.
 func (tc *TC) SingleNoWait(fn func()) bool {
 	slot := tc.singleCount
 	tc.singleCount++
-	tc.reg.mu.Lock()
-	claimed := tc.reg.singles[slot]
-	if !claimed {
-		tc.reg.singles[slot] = true
-	}
-	tc.reg.mu.Unlock()
-	if !claimed {
+	if _, won := tc.reg.singles.getOrCreate(slot, func() *struct{} { return singleToken }); won {
 		fn()
 		return true
 	}
@@ -150,13 +194,16 @@ func (tc *TC) SingleNoWait(fn func()) bool {
 // Critical runs fn under the named region-wide lock — "#omp critical(name)".
 // Different names are independent locks, as in OpenMP.
 func (tc *TC) Critical(name string, fn func()) {
-	tc.reg.mu.Lock()
+	tc.reg.critMu.Lock()
 	m, ok := tc.reg.critical[name]
 	if !ok {
+		if tc.reg.critical == nil {
+			tc.reg.critical = map[string]*sync.Mutex{}
+		}
 		m = &sync.Mutex{}
 		tc.reg.critical[name] = m
 	}
-	tc.reg.mu.Unlock()
+	tc.reg.critMu.Unlock()
 	m.Lock()
 	defer m.Unlock()
 	fn()

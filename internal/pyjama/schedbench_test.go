@@ -1,0 +1,42 @@
+package pyjama
+
+// Schedule and barrier microbenchmarks (ISSUE 2): per-construct overhead
+// of the worksharing hot path, measured inside a persistent region so the
+// team-spawn cost is excluded. BenchmarkPyjamaFor* time one full
+// worksharing loop (slot acquire + chunk claiming + implicit barrier) per
+// iteration; BenchmarkPyjamaBarrier times a bare "#omp barrier" at team
+// sizes 2/4/8.
+
+import (
+	"fmt"
+	"testing"
+)
+
+func benchFor(b *testing.B, threads int, sched Schedule) {
+	b.Helper()
+	// n is small so the measured cost is the construct overhead (slot
+	// acquire, chunk claims, implicit barrier), not the body calls.
+	const n = 512
+	Parallel(threads, func(tc *TC) {
+		for i := 0; i < b.N; i++ {
+			tc.For(n, sched, func(int) {})
+		}
+	})
+}
+
+func BenchmarkPyjamaForStatic(b *testing.B)  { benchFor(b, 8, Static(0)) }
+func BenchmarkPyjamaForDynamic(b *testing.B) { benchFor(b, 8, Dynamic(16)) }
+func BenchmarkPyjamaForGuided(b *testing.B)  { benchFor(b, 8, Guided(8)) }
+func BenchmarkPyjamaForAuto(b *testing.B)    { benchFor(b, 8, Auto()) }
+
+func BenchmarkPyjamaBarrier(b *testing.B) {
+	for _, threads := range []int{2, 4, 8} {
+		b.Run(fmt.Sprintf("T%d", threads), func(b *testing.B) {
+			Parallel(threads, func(tc *TC) {
+				for i := 0; i < b.N; i++ {
+					tc.Barrier()
+				}
+			})
+		})
+	}
+}

@@ -1,6 +1,7 @@
 package pyjama
 
 import (
+	"fmt"
 	"sync"
 	"sync/atomic"
 
@@ -46,6 +47,14 @@ type Schedule struct {
 	Chunk int
 }
 
+// String renders the schedule in OpenMP clause form, e.g. "dynamic(64)".
+func (s Schedule) String() string {
+	if s.Chunk > 0 {
+		return fmt.Sprintf("%s(%d)", s.Kind, s.Chunk)
+	}
+	return s.Kind.String()
+}
+
 // Static returns schedule(static, chunk); chunk 0 means block-per-thread.
 func Static(chunk int) Schedule { return Schedule{KindStatic, chunk} }
 
@@ -55,7 +64,10 @@ func Dynamic(chunk int) Schedule { return Schedule{KindDynamic, chunk} }
 // Guided returns schedule(guided, minChunk).
 func Guided(minChunk int) Schedule { return Schedule{KindGuided, minChunk} }
 
-// Auto returns schedule(auto); this implementation maps it to static.
+// Auto returns schedule(auto): the runtime measures per-chunk cost over a
+// calibration prefix of the loop and then picks static blocks (uniform
+// work) or dynamic claiming with a computed chunk size (skewed work). See
+// auto.go for the decision procedure.
 func Auto() Schedule { return Schedule{KindAuto, 0} }
 
 // Runtime returns schedule(runtime): the schedule set via
@@ -80,46 +92,62 @@ func SetRuntimeSchedule(s Schedule) {
 func RuntimeSchedule() Schedule { return runtimeSchedule.Load().(Schedule) }
 
 func (s Schedule) resolve() Schedule {
-	switch s.Kind {
-	case KindRuntime:
+	if s.Kind == KindRuntime {
 		return RuntimeSchedule()
-	case KindAuto:
-		return Static(s.Chunk)
-	default:
-		return s
 	}
+	return s
 }
 
 // loopState is the team-shared state of one worksharing loop instance.
+// The claim counters live on their own cache lines: the dynamic cursor,
+// the guided remaining-count, and the ordered-section state are each hot
+// in different phases and must not false-share with one another or with
+// the read-only header.
 type loopState struct {
 	n     int
 	sched Schedule
+	auto  *autoState // calibration + decision state; KindAuto only
 
-	next atomic.Int64 // dynamic: next unclaimed index
+	_    [64]byte
+	next atomic.Int64 // dynamic (and auto): claim cursor
 
-	gmu       sync.Mutex // guided
-	remaining int
+	_         [56]byte
+	remaining atomic.Int64 // guided: iterations not yet claimed
 
+	_     [56]byte
 	omu   sync.Mutex // ordered section sequencing
 	ocond *sync.Cond
 	onext int
 }
 
+func newLoopState(n int, sched Schedule, team int) *loopState {
+	ls := &loopState{n: n, sched: sched}
+	ls.remaining.Store(int64(n))
+	ls.ocond = sync.NewCond(&ls.omu)
+	if sched.Kind == KindAuto {
+		ls.auto = newAutoState(n, team)
+	}
+	return ls
+}
+
 // loop fetches or creates the shared state for this thread's next
-// worksharing construct. The SPMD contract guarantees all threads pass
-// the same (n, sched) for the same slot; the first arrival wins.
+// worksharing construct — a lock-free slot-table lookup; the first
+// arrival's CAS wins. The SPMD contract requires all threads to pass the
+// same (n, sched) for the same slot; with debug on (SetDebug /
+// PYJAMA_DEBUG) a mismatching later arrival panics instead of silently
+// adopting the first arrival's loop.
 func (tc *TC) loop(n int, sched Schedule) *loopState {
 	slot := tc.wsCount
 	tc.wsCount++
-	r := tc.reg
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if ls, ok := r.loops[slot]; ok {
-		return ls
+	resolved := sched.resolve()
+	ls, won := tc.reg.loops.getOrCreate(slot, func() *loopState {
+		return newLoopState(n, resolved, tc.reg.n)
+	})
+	if !won && spmdDebug.Load() && (ls.n != n || ls.sched != resolved) {
+		panic(fmt.Sprintf(
+			"pyjama: SPMD mismatch at worksharing construct %d: thread %d passed (n=%d, %v) but the first-arriving member registered (n=%d, %v); every team member must encounter the same worksharing sequence",
+			slot, tc.id, n, resolved, ls.n, ls.sched))
 	}
-	ls := &loopState{n: n, sched: sched.resolve(), remaining: n}
-	ls.ocond = sync.NewCond(&ls.omu)
-	r.loops[slot] = ls
 	return ls
 }
 
@@ -152,20 +180,32 @@ func (tc *TC) forEachChunk(n int, sched Schedule, run func(core.Chunk)) {
 	if n <= 0 {
 		return
 	}
+	ctr := &tc.reg.counters[tc.id]
+	claim := func(c core.Chunk) {
+		ctr.chunks++
+		ctr.iters += int64(c.Len())
+		run(c)
+	}
 	switch ls.sched.Kind {
 	case KindStatic:
 		if ls.sched.Chunk <= 0 {
-			// Block decomposition: at most one chunk per thread.
-			chunks := core.StaticChunks(n, tc.reg.n)
-			if tc.id < len(chunks) {
-				run(chunks[tc.id])
+			// Block decomposition: at most one chunk per thread, computed
+			// arithmetically (no per-call chunk-slice allocation).
+			if c, ok := core.StaticBlock(n, tc.reg.n, tc.id); ok {
+				claim(c)
 			}
 			return
 		}
 		// Block-cyclic: thread t takes chunks t, t+T, t+2T, ...
-		chunks := core.BlockChunks(n, ls.sched.Chunk)
-		for ci := tc.id; ci < len(chunks); ci += tc.reg.n {
-			run(chunks[ci])
+		chunk := ls.sched.Chunk
+		nchunks := (n + chunk - 1) / chunk
+		for ci := tc.id; ci < nchunks; ci += tc.reg.n {
+			lo := ci * chunk
+			hi := lo + chunk
+			if hi > n {
+				hi = n
+			}
+			claim(core.Chunk{Lo: lo, Hi: hi})
 		}
 	case KindDynamic:
 		chunk := ls.sched.Chunk
@@ -181,31 +221,36 @@ func (tc *TC) forEachChunk(n int, sched Schedule, run func(core.Chunk)) {
 			if hi > n {
 				hi = n
 			}
-			run(core.Chunk{Lo: lo, Hi: hi})
+			claim(core.Chunk{Lo: lo, Hi: hi})
 		}
 	case KindGuided:
-		minChunk := ls.sched.Chunk
+		// Contention-free guided: remaining is a single atomic and each
+		// claim is one CAS; a failed CAS just retries with the fresher
+		// remainder (no region or loop mutex on the claim path).
+		minChunk := int64(ls.sched.Chunk)
 		if minChunk <= 0 {
 			minChunk = 1
 		}
+		team := int64(tc.reg.n)
 		for {
-			ls.gmu.Lock()
-			if ls.remaining == 0 {
-				ls.gmu.Unlock()
+			rem := ls.remaining.Load()
+			if rem <= 0 {
 				return
 			}
-			size := ls.remaining / tc.reg.n
+			size := rem / team
 			if size < minChunk {
 				size = minChunk
 			}
-			if size > ls.remaining {
-				size = ls.remaining
+			if size > rem {
+				size = rem
 			}
-			lo := ls.n - ls.remaining
-			ls.remaining -= size
-			ls.gmu.Unlock()
-			run(core.Chunk{Lo: lo, Hi: lo + size})
+			if ls.remaining.CompareAndSwap(rem, rem-size) {
+				lo := ls.n - int(rem)
+				claim(core.Chunk{Lo: lo, Hi: lo + int(size)})
+			}
 		}
+	case KindAuto:
+		tc.runAuto(ls, claim)
 	default:
 		panic("pyjama: unresolved schedule kind")
 	}
@@ -223,9 +268,7 @@ func (tc *TC) Ordered(i int, fn func()) {
 	if slot < 0 {
 		panic("pyjama: Ordered outside a worksharing loop")
 	}
-	tc.reg.mu.Lock()
-	ls := tc.reg.loops[slot]
-	tc.reg.mu.Unlock()
+	ls := tc.reg.loops.get(slot)
 	ls.omu.Lock()
 	for ls.onext != i {
 		ls.ocond.Wait()
