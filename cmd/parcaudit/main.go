@@ -1,11 +1,16 @@
 // Command parcaudit checks a project tree against the PARC repository
 // protocols (§IV-A): source/test/bench separation, no committed build
-// artifacts, and Linux portability (path separators, line endings).
+// artifacts, and Linux portability (path separators, line endings). It
+// shares parcvet's flag and exit-code conventions (internal/report):
+//
+//	exit 0 — ran, no error-severity findings
+//	exit 1 — ran, at least one error-severity finding
+//	exit 2 — could not run (bad flags, unreadable tree)
 //
 // Usage:
 //
 //	parcaudit -dir path/to/project
-//	parcaudit -dir . -errors-only
+//	parcaudit -dir . -errors-only -json
 package main
 
 import (
@@ -14,12 +19,14 @@ import (
 	"os"
 
 	"parc751/internal/repohygiene"
+	"parc751/internal/report"
 )
 
 func main() {
 	var (
 		dir        = flag.String("dir", ".", "project directory to audit")
 		errorsOnly = flag.Bool("errors-only", false, "report only error-severity findings")
+		jsonOut    = flag.Bool("json", false, "emit findings as a JSON array")
 		maxBytes   = flag.Int64("max-bytes", 1<<20, "largest file to content-check")
 	)
 	flag.Parse()
@@ -27,17 +34,15 @@ func main() {
 	vs, err := repohygiene.AuditFS(repohygiene.PARCDefaults(), os.DirFS(*dir), *maxBytes)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "parcaudit: %v\n", err)
-		os.Exit(1)
+		os.Exit(2)
 	}
+	findings := repohygiene.Findings(vs)
 	if *errorsOnly {
-		vs = repohygiene.Errors(vs)
+		findings = report.Errors(findings)
 	}
-	for _, v := range vs {
-		fmt.Println(v)
+	if err := report.Render(os.Stdout, findings, *jsonOut); err != nil {
+		fmt.Fprintf(os.Stderr, "parcaudit: %v\n", err)
+		os.Exit(2)
 	}
-	nErr := len(repohygiene.Errors(vs))
-	fmt.Printf("%d finding(s), %d error(s)\n", len(vs), nErr)
-	if nErr > 0 {
-		os.Exit(1)
-	}
+	os.Exit(report.ExitCode(findings))
 }

@@ -1,0 +1,76 @@
+// Command parcvet runs the course's concurrency-misuse analyzers
+// (internal/parcvet) over Go packages in this module — a multichecker for
+// the Parallel Task / Pyjama APIs. It shares parcaudit's flag and
+// exit-code conventions (internal/report):
+//
+//	exit 0 — ran, no error-severity findings
+//	exit 1 — ran, at least one error-severity finding
+//	exit 2 — could not run (bad flags, load failure)
+//
+// Usage:
+//
+//	parcvet ./...                 # whole module
+//	parcvet ./internal/pyjama     # one package
+//	parcvet -analyzers guiblock,lostfuture ./examples/...
+//	parcvet -errors-only -json ./...
+//	parcvet -list                 # describe the suite
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"parc751/internal/parcvet"
+	"parc751/internal/parcvet/loader"
+	"parc751/internal/report"
+)
+
+func main() {
+	var (
+		dir        = flag.String("dir", ".", "directory inside the module to analyze from")
+		analyzers  = flag.String("analyzers", "", "comma-separated analyzer names (default: all)")
+		errorsOnly = flag.Bool("errors-only", false, "report only error-severity findings")
+		jsonOut    = flag.Bool("json", false, "emit findings as a JSON array")
+		list       = flag.Bool("list", false, "list the analyzers and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, a := range parcvet.Analyzers() {
+			summary, _, _ := strings.Cut(a.Doc, "\n")
+			fmt.Printf("%-18s %-7s  %s\n", a.Name, a.Severity, summary)
+		}
+		return
+	}
+
+	suite, err := parcvet.ByName(*analyzers)
+	if err != nil {
+		fatal(err)
+	}
+	root, err := loader.FindModuleRoot(*dir)
+	if err != nil {
+		fatal(err)
+	}
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	findings, err := parcvet.Run(root, patterns, suite)
+	if err != nil {
+		fatal(err)
+	}
+	if *errorsOnly {
+		findings = report.Errors(findings)
+	}
+	if err := report.Render(os.Stdout, findings, *jsonOut); err != nil {
+		fatal(err)
+	}
+	os.Exit(report.ExitCode(findings))
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "parcvet: %v\n", err)
+	os.Exit(2)
+}

@@ -1,0 +1,90 @@
+package analysis
+
+import (
+	"go/ast"
+	"reflect"
+)
+
+// Inspector is the shared AST traversal helper, the counterpart of
+// x/tools' go/ast/inspector result that upstream analyzers obtain via
+// Requires: inspect.Analyzer. One Inspector is built per package and
+// shared by every analyzer in the run.
+type Inspector struct {
+	files []*ast.File
+}
+
+// NewInspector builds an inspector over the package's files.
+func NewInspector(files []*ast.File) *Inspector {
+	return &Inspector{files: files}
+}
+
+// Preorder visits every node in depth-first preorder, restricted to the
+// node types named in the (possibly empty, meaning all) filter.
+func (in *Inspector) Preorder(filter []ast.Node, fn func(ast.Node)) {
+	want := typeSet(filter)
+	for _, f := range in.files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				return false
+			}
+			if want == nil || want[reflect.TypeOf(n)] {
+				fn(n)
+			}
+			return true
+		})
+	}
+}
+
+// WithStack is Preorder plus the ancestor stack: stack[0] is the
+// *ast.File, stack[len-1] is n itself. The visit function returns whether
+// to descend into n's children.
+func (in *Inspector) WithStack(filter []ast.Node, fn func(n ast.Node, stack []ast.Node) bool) {
+	want := typeSet(filter)
+	for _, f := range in.files {
+		var stack []ast.Node
+		var visit func(n ast.Node) bool
+		visit = func(n ast.Node) bool {
+			stack = append(stack, n)
+			descend := true
+			if want == nil || want[reflect.TypeOf(n)] {
+				descend = fn(n, stack)
+			}
+			if descend {
+				for _, child := range children(n) {
+					visit(child)
+				}
+			}
+			stack = stack[:len(stack)-1]
+			return descend
+		}
+		visit(f)
+	}
+}
+
+// children lists n's direct AST children in source order.
+func children(n ast.Node) []ast.Node {
+	var out []ast.Node
+	first := true
+	ast.Inspect(n, func(c ast.Node) bool {
+		if first { // the Inspect root is n itself
+			first = false
+			return true
+		}
+		if c != nil {
+			out = append(out, c)
+		}
+		return false // direct children only; recursion happens in visit
+	})
+	return out
+}
+
+func typeSet(filter []ast.Node) map[reflect.Type]bool {
+	if len(filter) == 0 {
+		return nil
+	}
+	m := make(map[reflect.Type]bool, len(filter))
+	for _, n := range filter {
+		m[reflect.TypeOf(n)] = true
+	}
+	return m
+}

@@ -1,0 +1,376 @@
+// Package cfg builds a statement-level control-flow graph for one
+// function body — the stdlib-only counterpart of x/tools'
+// go/analysis/passes/ctrlflow result. parcvet's path-sensitive analyzers
+// (lostfuture) use it to ask reachability questions like "is the function
+// exit reachable from this task-creation site without passing a statement
+// that awaits the task?".
+//
+// Granularity: one node per statement. Compound statements (if, for,
+// switch, select, range) are represented by a head node holding their
+// init/condition expressions; their bodies are separate node chains. The
+// graph is conservative in the safe-for-linting direction: constructs it
+// cannot model precisely (computed gotos out of scope, dead labels) fall
+// back to an edge toward the exit, which can only create false negatives
+// for "a path avoids X", never false positives... and the reverse for
+// panics: a statement that certainly panics or exits the process gets an
+// edge straight to Exit, because for resource-consumption questions an
+// abrupt exit is still "left the function without consuming".
+package cfg
+
+import (
+	"go/ast"
+)
+
+// Node is one CFG node.
+type Node struct {
+	// Stmt is the owning statement; nil for the synthetic entry/exit.
+	Stmt  ast.Stmt
+	Succs []*Node
+}
+
+// Graph is the CFG of one function body.
+type Graph struct {
+	Entry *Node
+	Exit  *Node
+	nodes map[ast.Stmt]*Node
+}
+
+// builder carries the label environment during construction.
+type builder struct {
+	g      *Graph
+	labels map[string]*labelInfo
+}
+
+type labelInfo struct {
+	// node is the labeled statement's head node (goto target).
+	node *Node
+	// brk/cont are set while the labeled loop/switch is being built.
+	brk, cont *Node
+}
+
+// New builds the CFG for a function body.
+func New(body *ast.BlockStmt) *Graph {
+	g := &Graph{
+		Entry: &Node{},
+		Exit:  &Node{},
+		nodes: map[ast.Stmt]*Node{},
+	}
+	b := &builder{g: g, labels: map[string]*labelInfo{}}
+	// Pre-create label targets so forward gotos resolve.
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // nested function literals get their own graphs
+		}
+		if ls, ok := n.(*ast.LabeledStmt); ok {
+			b.labels[ls.Label.Name] = &labelInfo{node: b.node(ls)}
+		}
+		return true
+	})
+	entry := b.seq(body.List, g.Exit, nil, nil)
+	g.Entry.Succs = []*Node{entry}
+	return g
+}
+
+// node returns (creating if needed) the head node for s.
+func (b *builder) node(s ast.Stmt) *Node {
+	if n, ok := b.g.nodes[s]; ok {
+		return n
+	}
+	n := &Node{Stmt: s}
+	b.g.nodes[s] = n
+	return n
+}
+
+// seq chains stmts so control falls from each to the following, ending at
+// next; it returns the entry node of the sequence (next when empty).
+func (b *builder) seq(stmts []ast.Stmt, next, brk, cont *Node) *Node {
+	entry := next
+	for i := len(stmts) - 1; i >= 0; i-- {
+		entry = b.stmt(stmts[i], entry, brk, cont)
+	}
+	return entry
+}
+
+// stmt wires one statement given its fall-through successor and the
+// innermost enclosing break/continue targets, returning its entry node.
+func (b *builder) stmt(s ast.Stmt, next, brk, cont *Node) *Node {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		return b.seq(s.List, next, brk, cont)
+
+	case *ast.LabeledStmt:
+		li := b.labels[s.Label.Name]
+		// Expose the label's break/continue targets to labeled branch
+		// statements inside the labeled construct — before building the
+		// body, which is where those branches get wired.
+		li.brk = next
+		switch s.Stmt.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			li.cont = b.node(s.Stmt)
+		}
+		inner := b.stmt(s.Stmt, next, brk, cont)
+		li.node.Succs = appendUnique(li.node.Succs, inner)
+		return li.node
+
+	case *ast.IfStmt:
+		n := b.node(s)
+		then := b.stmt(s.Body, next, brk, cont)
+		n.Succs = appendUnique(n.Succs, then)
+		if s.Else != nil {
+			n.Succs = appendUnique(n.Succs, b.stmt(s.Else, next, brk, cont))
+		} else {
+			n.Succs = appendUnique(n.Succs, next)
+		}
+		return n
+
+	case *ast.ForStmt:
+		n := b.node(s) // holds init + cond
+		var post *Node
+		backEdge := n
+		if s.Post != nil {
+			post = b.stmt(s.Post, n, nil, nil)
+			backEdge = post
+		}
+		body := b.stmt(s.Body, backEdge, next, backEdge)
+		n.Succs = appendUnique(n.Succs, body)
+		if s.Cond != nil {
+			n.Succs = appendUnique(n.Succs, next) // cond may be false
+		}
+		return n
+
+	case *ast.RangeStmt:
+		n := b.node(s)
+		body := b.stmt(s.Body, n, next, n)
+		n.Succs = appendUnique(n.Succs, body)
+		n.Succs = appendUnique(n.Succs, next) // empty range
+		return n
+
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt:
+		n := b.node(s)
+		var clauses []ast.Stmt
+		hasDefault := false
+		switch sw := s.(type) {
+		case *ast.SwitchStmt:
+			clauses = sw.Body.List
+		case *ast.TypeSwitchStmt:
+			clauses = sw.Body.List
+		}
+		// Build clauses last-to-first so fallthrough can target the next
+		// clause's body entry.
+		fallEntry := next
+		entries := make([]*Node, len(clauses))
+		for i := len(clauses) - 1; i >= 0; i-- {
+			cc := clauses[i].(*ast.CaseClause)
+			if cc.List == nil {
+				hasDefault = true
+			}
+			cn := b.node(cc)
+			bodyEntry := b.seqWithFallthrough(cc.Body, next, fallEntry, cont)
+			cn.Succs = appendUnique(cn.Succs, bodyEntry)
+			entries[i] = cn
+			fallEntry = bodyEntry
+		}
+		for _, e := range entries {
+			n.Succs = appendUnique(n.Succs, e)
+		}
+		if !hasDefault {
+			n.Succs = appendUnique(n.Succs, next)
+		}
+		return n
+
+	case *ast.SelectStmt:
+		n := b.node(s)
+		for _, cl := range s.Body.List {
+			comm := cl.(*ast.CommClause)
+			cn := b.node(comm)
+			cn.Succs = appendUnique(cn.Succs, b.seq(comm.Body, next, next, cont))
+			n.Succs = appendUnique(n.Succs, cn)
+		}
+		if len(s.Body.List) == 0 {
+			n.Succs = appendUnique(n.Succs, next)
+		}
+		return n
+
+	case *ast.ReturnStmt:
+		n := b.node(s)
+		n.Succs = appendUnique(n.Succs, b.g.Exit)
+		return n
+
+	case *ast.BranchStmt:
+		n := b.node(s)
+		target := b.branchTarget(s, next, brk, cont)
+		n.Succs = appendUnique(n.Succs, target)
+		return n
+
+	case *ast.ExprStmt:
+		n := b.node(s)
+		if isPanicky(s.X) {
+			n.Succs = appendUnique(n.Succs, b.g.Exit)
+		} else {
+			n.Succs = appendUnique(n.Succs, next)
+		}
+		return n
+
+	default:
+		// Assign, Decl, IncDec, Go, Defer, Send, Empty, …: straight line.
+		n := b.node(s)
+		n.Succs = appendUnique(n.Succs, next)
+		return n
+	}
+}
+
+// seqWithFallthrough is seq for a case-clause body where a trailing
+// fallthrough transfers to fallEntry and break transfers past the switch.
+func (b *builder) seqWithFallthrough(stmts []ast.Stmt, next, fallEntry, cont *Node) *Node {
+	if len(stmts) > 0 {
+		if br, ok := stmts[len(stmts)-1].(*ast.BranchStmt); ok && br.Tok.String() == "fallthrough" {
+			n := b.node(br)
+			n.Succs = appendUnique(n.Succs, fallEntry)
+			return b.seq(stmts[:len(stmts)-1], n, next, cont)
+		}
+	}
+	return b.seq(stmts, next, next, cont)
+}
+
+// branchTarget resolves break/continue/goto.
+func (b *builder) branchTarget(s *ast.BranchStmt, next, brk, cont *Node) *Node {
+	switch s.Tok.String() {
+	case "break":
+		if s.Label != nil {
+			if li, ok := b.labels[s.Label.Name]; ok && li.brk != nil {
+				return li.brk
+			}
+		}
+		if brk != nil {
+			return brk
+		}
+	case "continue":
+		if s.Label != nil {
+			if li, ok := b.labels[s.Label.Name]; ok && li.cont != nil {
+				return li.cont
+			}
+		}
+		if cont != nil {
+			return cont
+		}
+	case "goto":
+		if s.Label != nil {
+			if li, ok := b.labels[s.Label.Name]; ok {
+				return li.node
+			}
+		}
+	case "fallthrough":
+		return next // normally handled by seqWithFallthrough
+	}
+	return b.g.Exit // conservative: unmodelled transfer leaves the region
+}
+
+// isPanicky reports whether the call expression certainly does not return
+// (panic, os.Exit, runtime.Goexit). Matching is syntactic: this is a
+// lint-grade CFG, and a shadowed `panic` would only make the graph more
+// conservative.
+func isPanicky(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	switch fn := call.Fun.(type) {
+	case *ast.Ident:
+		return fn.Name == "panic"
+	case *ast.SelectorExpr:
+		if pkg, ok := fn.X.(*ast.Ident); ok {
+			return (pkg.Name == "os" && fn.Sel.Name == "Exit") ||
+				(pkg.Name == "runtime" && fn.Sel.Name == "Goexit")
+		}
+	}
+	return false
+}
+
+// NodeFor returns the head node of s, or nil if s is not in the graph.
+func (g *Graph) NodeFor(s ast.Stmt) *Node { return g.nodes[s] }
+
+// CanReachExitAvoiding reports whether Exit is reachable from the
+// successors of from's node without passing through any node whose
+// statement satisfies avoid. from itself is not tested.
+func (g *Graph) CanReachExitAvoiding(from ast.Stmt, avoid func(ast.Stmt) bool) bool {
+	start := g.nodes[from]
+	if start == nil {
+		// The statement has no node of its own (e.g. it is the init
+		// clause of a compound statement). Err toward silence: a lint
+		// false positive costs more trust than a false negative.
+		return false
+	}
+	seen := map[*Node]bool{start: true}
+	stack := append([]*Node(nil), start.Succs...)
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seen[n] {
+			continue
+		}
+		seen[n] = true
+		if n == g.Exit {
+			return true
+		}
+		if n.Stmt != nil && avoid(n.Stmt) {
+			continue
+		}
+		stack = append(stack, n.Succs...)
+	}
+	return false
+}
+
+// Shallow returns the AST nodes owned by s's CFG node itself — the
+// init/condition parts of compound statements, the whole statement for
+// simple ones. Analyzers use it to test "does this node consume X"
+// without accidentally matching uses in nested bodies (which are separate
+// nodes).
+func Shallow(s ast.Stmt) []ast.Node {
+	switch s := s.(type) {
+	case *ast.IfStmt:
+		return nonNil(s.Init, s.Cond)
+	case *ast.ForStmt:
+		return nonNil(s.Init, s.Cond)
+	case *ast.RangeStmt:
+		return nonNil(s.Key, s.Value, s.X)
+	case *ast.SwitchStmt:
+		return nonNil(s.Init, s.Tag)
+	case *ast.TypeSwitchStmt:
+		return nonNil(s.Init, s.Assign)
+	case *ast.SelectStmt:
+		return nil
+	case *ast.CaseClause:
+		out := make([]ast.Node, 0, len(s.List))
+		for _, e := range s.List {
+			out = append(out, e)
+		}
+		return out
+	case *ast.CommClause:
+		return nonNil(s.Comm)
+	case *ast.LabeledStmt:
+		return nil
+	case *ast.BlockStmt:
+		return nil
+	default:
+		return []ast.Node{s}
+	}
+}
+
+func appendUnique(ns []*Node, n *Node) []*Node {
+	for _, e := range ns {
+		if e == n {
+			return ns
+		}
+	}
+	return append(ns, n)
+}
+
+func nonNil(ns ...ast.Node) []ast.Node {
+	var out []ast.Node
+	for _, n := range ns {
+		if n != nil {
+			out = append(out, n)
+		}
+	}
+	return out
+}

@@ -1,0 +1,204 @@
+package cfg
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// parseBody parses src as a function body and returns it with a lookup
+// from marker comments: the statement starting on the line of a
+// `/*name*/` marker is addressable by name.
+func parseBody(t *testing.T, body string) (*ast.BlockStmt, func(substr string) ast.Stmt) {
+	t.Helper()
+	src := "package p\nfunc f(a, b int) int {\n" + body + "\n}"
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "f.go", src, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	fn := file.Decls[0].(*ast.FuncDecl)
+	find := func(substr string) ast.Stmt {
+		var hit ast.Stmt
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			s, ok := n.(ast.Stmt)
+			if !ok || hit != nil {
+				return hit == nil
+			}
+			start := fset.Position(s.Pos()).Offset
+			end := fset.Position(s.End()).Offset
+			if strings.Contains(src[start:end], substr) && hit == nil {
+				// Keep the *outermost* statement containing the marker
+				// only if it IS the marker's own statement: prefer the
+				// innermost, so keep descending.
+				hit = s
+			}
+			return true
+		})
+		if hit == nil {
+			t.Fatalf("no statement containing %q", substr)
+		}
+		// Descend to the innermost statement containing the marker.
+		for {
+			inner := hit
+			ast.Inspect(hit, func(n ast.Node) bool {
+				s, ok := n.(ast.Stmt)
+				if !ok || s == hit {
+					return true
+				}
+				start := fset.Position(s.Pos()).Offset
+				end := fset.Position(s.End()).Offset
+				if strings.Contains(src[start:end], substr) {
+					inner = s
+					return false
+				}
+				return true
+			})
+			if inner == hit {
+				return hit
+			}
+			hit = inner
+		}
+	}
+	return fn.Body, find
+}
+
+func avoidContaining(find func(string) ast.Stmt, substr string) func(ast.Stmt) bool {
+	target := find(substr)
+	return func(s ast.Stmt) bool { return s == target }
+}
+
+func TestStraightLineMustPass(t *testing.T) {
+	body, find := parseBody(t, `
+	x := a
+	x = x + b
+	return x`)
+	g := New(body)
+	// From `x := a`, every path to the exit passes `return x`.
+	if g.CanReachExitAvoiding(find("x := a"), avoidContaining(find, "return x")) {
+		t.Error("straight line claimed to bypass the return")
+	}
+}
+
+func TestEarlyReturnBypasses(t *testing.T) {
+	body, find := parseBody(t, `
+	x := a
+	if a > 0 {
+		return 0
+	}
+	return x`)
+	g := New(body)
+	if !g.CanReachExitAvoiding(find("x := a"), avoidContaining(find, "return x")) {
+		t.Error("the early return should reach the exit without passing `return x`")
+	}
+}
+
+func TestLoopBackEdge(t *testing.T) {
+	body, find := parseBody(t, `
+	x := a
+	for i := 0; i < b; i++ {
+		x++
+	}
+	return x`)
+	g := New(body)
+	// The loop can run zero times, but the only exit still passes return.
+	if g.CanReachExitAvoiding(find("x := a"), avoidContaining(find, "return x")) {
+		t.Error("loop body claimed a path around the return")
+	}
+	// Avoiding the loop head: unreachable exit (the for is the only route).
+	if g.CanReachExitAvoiding(find("x := a"), avoidContaining(find, "for i := 0")) {
+		t.Error("exit should be unreachable when avoiding the only loop head")
+	}
+}
+
+func TestBreakAndContinue(t *testing.T) {
+	body, find := parseBody(t, `
+	x := a
+	for {
+		if a > 0 {
+			break
+		}
+		if b > 0 {
+			continue
+		}
+		x++
+	}
+	return x`)
+	g := New(body)
+	// break leaves the infinite loop, so the return is still on every path.
+	if g.CanReachExitAvoiding(find("x := a"), avoidContaining(find, "return x")) {
+		t.Error("break path claimed to bypass the return")
+	}
+}
+
+func TestPanicReachesExit(t *testing.T) {
+	body, find := parseBody(t, `
+	x := a
+	if a > 0 {
+		panic("boom")
+	}
+	return x`)
+	g := New(body)
+	// The panic leaves the function without passing the return.
+	if !g.CanReachExitAvoiding(find("x := a"), avoidContaining(find, "return x")) {
+		t.Error("panic should count as leaving without passing the return")
+	}
+}
+
+func TestSwitchFallthrough(t *testing.T) {
+	body, find := parseBody(t, `
+	x := a
+	switch a {
+	case 0:
+		x = 1
+	case 1:
+		x = 2
+	default:
+		return 0
+	}
+	return x`)
+	g := New(body)
+	if !g.CanReachExitAvoiding(find("x := a"), avoidContaining(find, "return x")) {
+		t.Error("the default arm's return should bypass the final return")
+	}
+	if g.CanReachExitAvoiding(find("x := a"), func(s ast.Stmt) bool {
+		_, isRet := s.(*ast.ReturnStmt)
+		return isRet
+	}) {
+		t.Error("every path must pass some return")
+	}
+}
+
+func TestUnknownStatementIsSilent(t *testing.T) {
+	body, _ := parseBody(t, `
+	return a`)
+	g := New(body)
+	// A statement that is not in the graph must answer false (err toward
+	// silence for analyzers).
+	bogus := &ast.EmptyStmt{}
+	if g.CanReachExitAvoiding(bogus, func(ast.Stmt) bool { return false }) {
+		t.Error("unknown statement should not claim reachability")
+	}
+}
+
+func TestShallowOwnsHeaderOnly(t *testing.T) {
+	body, find := parseBody(t, `
+	x := a
+	if x > 0 {
+		x = 1
+	}
+	return x`)
+	_ = body
+	ifStmt := find("if x > 0").(*ast.IfStmt)
+	owned := Shallow(ifStmt)
+	for _, n := range owned {
+		if n == ifStmt.Body {
+			t.Error("Shallow must not own the if body")
+		}
+	}
+	if len(owned) == 0 {
+		t.Error("Shallow(if) should own the condition")
+	}
+}

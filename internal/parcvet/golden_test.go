@@ -1,0 +1,180 @@
+package parcvet
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"parc751/internal/parcvet/analysis"
+	"parc751/internal/parcvet/loader"
+	"parc751/internal/report"
+)
+
+// TestGolden runs each analyzer alone over its fixture package under
+// testdata/src/<name> and checks the findings against the fixtures' `//
+// want` comments: every want must be matched by a finding on its line,
+// and every finding must be expected by a want. good.go files carry no
+// wants, so any finding there is a false positive and fails the test.
+func TestGolden(t *testing.T) {
+	root := moduleRootOrSkip(t)
+	for _, an := range Analyzers() {
+		t.Run(an.Name, func(t *testing.T) {
+			dir := filepath.Join(root, "internal", "parcvet", "testdata", "src", an.Name)
+			l, err := loader.New(root)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pkg, err := l.LoadDir(dir, "parcvettest/"+an.Name)
+			if err != nil {
+				t.Fatalf("loading fixture package: %v", err)
+			}
+			findings := AnalyzePackage(l, pkg, []*analysis.Analyzer{an})
+			checkWants(t, l.Fset(), pkg.Files, findings)
+		})
+	}
+}
+
+// TestSuppression checks the //parcvet:ignore contract on the suppress
+// fixture: the well-formed directive silences its sharedwrite finding,
+// the reason-less one is reported as malformed and silences nothing.
+func TestSuppression(t *testing.T) {
+	root := moduleRootOrSkip(t)
+	l, err := loader.New(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := l.LoadDir(filepath.Join(root, "internal", "parcvet", "testdata", "src", "suppress"), "parcvettest/suppress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings := AnalyzePackage(l, pkg, []*analysis.Analyzer{SharedWriteAnalyzer})
+
+	var malformed, suppressedHit, unsuppressed int
+	for _, f := range findings {
+		switch {
+		case f.Rule == "suppression":
+			malformed++
+		case strings.Contains(f.Detail, `"sum"`):
+			suppressedHit++
+		case strings.Contains(f.Detail, `"n"`):
+			unsuppressed++
+		}
+	}
+	if malformed != 1 {
+		t.Errorf("want exactly 1 malformed-suppression finding, got %d in %v", malformed, findings)
+	}
+	if suppressedHit != 0 {
+		t.Errorf("the justified //parcvet:ignore should silence the sum finding; got %v", findings)
+	}
+	if unsuppressed != 1 {
+		t.Errorf("the reason-less directive must not suppress; want the n finding, got %v", findings)
+	}
+}
+
+// TestAnalyzerMetadata keeps the suite's registry sane: unique names,
+// non-empty docs, and ByName round-trips.
+func TestAnalyzerMetadata(t *testing.T) {
+	seen := map[string]bool{}
+	for _, an := range Analyzers() {
+		if an.Name == "" || an.Doc == "" || an.Run == nil {
+			t.Errorf("analyzer %+v missing name/doc/run", an)
+		}
+		if seen[an.Name] {
+			t.Errorf("duplicate analyzer name %q", an.Name)
+		}
+		seen[an.Name] = true
+		got, err := ByName(an.Name)
+		if err != nil || len(got) != 1 || got[0] != an {
+			t.Errorf("ByName(%q) = %v, %v", an.Name, got, err)
+		}
+	}
+	if _, err := ByName("nosuchpass"); err == nil {
+		t.Error("ByName should reject unknown analyzer names")
+	}
+	if all, err := ByName(""); err != nil || len(all) != len(Analyzers()) {
+		t.Errorf("ByName(\"\") should return the full suite, got %v, %v", all, err)
+	}
+}
+
+func moduleRootOrSkip(t *testing.T) string {
+	t.Helper()
+	root, err := loader.FindModuleRoot(".")
+	if err != nil {
+		t.Skipf("no module root: %v", err)
+	}
+	return root
+}
+
+var wantRe = regexp.MustCompile("// want `([^`]*)`")
+
+// checkWants cross-checks findings against `// want` comments.
+func checkWants(t *testing.T, fset *token.FileSet, files []*ast.File, findings []report.Finding) {
+	t.Helper()
+	type key struct {
+		file string
+		line int
+	}
+	wants := map[key][]*regexp.Regexp{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				re, err := regexp.Compile(m[1])
+				if err != nil {
+					t.Fatalf("bad want regexp %q: %v", m[1], err)
+				}
+				posn := fset.Position(c.Pos())
+				k := key{filepath.Base(posn.Filename), posn.Line}
+				wants[k] = append(wants[k], re)
+			}
+		}
+	}
+
+	matched := map[*regexp.Regexp]bool{}
+	for _, f := range findings {
+		file, line, err := splitPos(f.Pos)
+		if err != nil {
+			t.Errorf("unparseable finding position %q", f.Pos)
+			continue
+		}
+		k := key{file, line}
+		found := false
+		for _, re := range wants[k] {
+			if re.MatchString(f.Detail) {
+				matched[re] = true
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("unexpected finding at %s: %s", f.Pos, f.Detail)
+		}
+	}
+	for k, res := range wants {
+		for _, re := range res {
+			if !matched[re] {
+				t.Errorf("%s:%d: expected finding matching %q, got none", k.file, k.line, re)
+			}
+		}
+	}
+}
+
+// splitPos parses "path:line:col" (also tolerating "path:line").
+func splitPos(pos string) (string, int, error) {
+	parts := strings.Split(pos, ":")
+	if len(parts) < 2 {
+		return "", 0, fmt.Errorf("no line in %q", pos)
+	}
+	line, err := strconv.Atoi(parts[1])
+	if err != nil {
+		return "", 0, err
+	}
+	return filepath.Base(parts[0]), line, nil
+}

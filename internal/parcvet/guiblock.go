@@ -1,0 +1,229 @@
+package parcvet
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+
+	"parc751/internal/parcvet/analysis"
+	"parc751/internal/report"
+)
+
+// GUIBlockAnalyzer flags blocking calls reachable from GUI-thread
+// callbacks — the paper's concurrency-versus-parallelism lesson (§IV-B):
+// work must stay off the event-dispatch thread, and completion handlers
+// hop back onto it. A handler that calls Future.Get, Pool.Quiesce, a
+// blocking pyjama.Parallel region, or time.Sleep freezes every pending
+// repaint behind it.
+var GUIBlockAnalyzer = &analysis.Analyzer{
+	Name: "guiblock",
+	Doc: `report blocking calls inside GUI event-dispatch callbacks
+
+A closure that runs on the event loop (eventloop.Loop.InvokeLater,
+pyjama.OnGUI, ptask Notify callbacks, android.Handler.Post, AsyncTask
+OnPostExecute/OnProgressUpdate) must not wait: calls that block — Future.Get,
+Task.Result, Pool.Quiesce, WaitAll, a synchronous pyjama.Parallel region,
+receiving from Done(), time.Sleep — freeze the UI. Offload with ptask or
+pyjama.Async and deliver results via Notify/OnGUI.`,
+	Severity: report.Error,
+	Run:      runGUIBlock,
+}
+
+// asyncTaskCallbacks are the android.AsyncTask fields delivered on the
+// main looper.
+var asyncTaskCallbacks = map[string]bool{
+	"OnPreExecute":     true,
+	"OnProgressUpdate": true,
+	"OnPostExecute":    true,
+	"OnCancelled":      true,
+}
+
+func runGUIBlock(pass *analysis.Pass) error {
+	info := pass.TypesInfo
+
+	// 1. Collect every function literal that is a GUI-thread callback,
+	// with a description of how it gets onto the dispatch thread.
+	handlers := map[*ast.FuncLit]string{}
+	pass.Inspect.WithStack([]ast.Node{(*ast.FuncLit)(nil)}, func(n ast.Node, stack []ast.Node) bool {
+		lit := n.(*ast.FuncLit)
+		if c, arg, ok := funcLitArg(info, stack); ok {
+			if desc, ok := guiHandlerContext(c, arg); ok {
+				handlers[lit] = desc
+			}
+		}
+		// android.AsyncTask callback fields, assigned or set in a
+		// composite literal.
+		if len(stack) >= 2 {
+			switch parent := stack[len(stack)-2].(type) {
+			case *ast.KeyValueExpr:
+				if key, ok := parent.Key.(*ast.Ident); ok && asyncTaskCallbacks[key.Name] && len(stack) >= 3 {
+					if comp, ok := stack[len(stack)-3].(*ast.CompositeLit); ok && isAsyncTaskType(pass, comp) {
+						handlers[lit] = "android.AsyncTask." + key.Name + " callback (runs on the main looper)"
+					}
+				}
+			case *ast.AssignStmt:
+				for i, rhs := range parent.Rhs {
+					if ast.Unparen(rhs) != lit || i >= len(parent.Lhs) {
+						continue
+					}
+					if sel, ok := parent.Lhs[i].(*ast.SelectorExpr); ok && asyncTaskCallbacks[sel.Sel.Name] &&
+						namedTypeName(typeOf(pass, sel.X)) == "AsyncTask" {
+						handlers[lit] = "android.AsyncTask." + sel.Sel.Name + " callback (runs on the main looper)"
+					}
+				}
+			}
+		}
+		return true
+	})
+	if len(handlers) == 0 {
+		return nil
+	}
+
+	// 2. Function literals launched via `go` run off the handler thread;
+	// immediately-invoked literals run on it.
+	goLaunched := map[*ast.FuncLit]bool{}
+	pass.Inspect.Preorder([]ast.Node{(*ast.GoStmt)(nil)}, func(n ast.Node) {
+		if lit, ok := ast.Unparen(n.(*ast.GoStmt).Call.Fun).(*ast.FuncLit); ok {
+			goLaunched[lit] = true
+		}
+	})
+
+	// 3. Scan each handler body for blocking calls. Nested literals are
+	// only followed when they still execute on the dispatch thread:
+	// goroutine launches and closures handed to the task/worksharing APIs
+	// run elsewhere (and are classified as their own contexts if needed).
+	for lit, desc := range handlers {
+		scanHandlerBody(pass, lit, desc, goLaunched)
+	}
+	return nil
+}
+
+func scanHandlerBody(pass *analysis.Pass, handler *ast.FuncLit, desc string, goLaunched map[*ast.FuncLit]bool) {
+	info := pass.TypesInfo
+	ast.Inspect(handler.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			if n == handler {
+				return true
+			}
+			// Stays on the dispatch thread only if it is neither a
+			// goroutine body nor a closure handed to an async API.
+			if goLaunched[n] {
+				return false
+			}
+			return true
+		case *ast.GoStmt:
+			// Arguments are evaluated on the handler thread, but the
+			// launched body is not; the FuncLit case above skips it.
+			return true
+		case *ast.UnaryExpr:
+			// <-t.Done() inside a handler blocks until completion.
+			if n.Op == token.ARROW {
+				if call, ok := ast.Unparen(n.X).(*ast.CallExpr); ok {
+					if c, ok := calleeOf(info, call); ok && c.name == "Done" &&
+						(c.isMethod(pkgCore, "Future", "Done") || c.isMethod(pkgPtask, "Task", "Done") || c.isMethod(pkgPtask, "MultiTask", "Done")) {
+						pass.Reportf(n.Pos(), "receiving from %s blocks the GUI dispatch thread inside %s; use Notify to deliver the result back to the loop", c, desc)
+					}
+				}
+			}
+			return true
+		case *ast.CallExpr:
+			c, ok := calleeOf(info, n)
+			if !ok {
+				return true
+			}
+			// A closure passed to a task/worksharing construct runs
+			// off-thread; do not descend into it from here.
+			if why, blocking := blockingCall(c); blocking {
+				pass.Reportf(n.Pos(), "call to %s %s inside %s; hand the work to ptask or pyjama.Async and return, delivering results via Notify/OnGUI", c, why, desc)
+			}
+			for i, arg := range n.Args {
+				if inner, ok := ast.Unparen(arg).(*ast.FuncLit); ok {
+					if isTaskBody(c, i) || isWorksharingBody(c, i) || isRegionBody(c, i) {
+						goLaunched[inner] = true // reuse the skip set
+					}
+				}
+			}
+			return true
+		}
+		return true
+	})
+}
+
+// guiHandlerContext classifies closures that the runtime delivers on an
+// event-dispatch thread.
+func guiHandlerContext(c callee, arg int) (string, bool) {
+	switch {
+	case c.isMethod(pkgEventloop, "Loop", "InvokeLater") && arg == 0:
+		return "an eventloop.InvokeLater handler", true
+	case c.isMethod(pkgEventloop, "Loop", "InvokeAndWait") && arg == 0:
+		return "an eventloop.InvokeAndWait handler", true
+	case c.is(pkgPyjama, "OnGUI") && arg == 1:
+		return "a pyjama.OnGUI callback", true
+	case c.is(pkgPyjama, "OnGUISync") && arg == 1:
+		return "a pyjama.OnGUISync callback", true
+	case c.is(pkgPyjama, "Async") && arg == 3:
+		return "a pyjama.Async completion callback (delivered on the event loop)", true
+	case c.isMethod(pkgPtask, "Task", "Notify") && arg == 0,
+		c.isMethod(pkgPtask, "MultiTask", "Notify") && arg == 0,
+		c.isMethod(pkgPtask, "MultiTask", "NotifyEach") && arg == 0,
+		c.isMethod(pkgPtask, "Progress", "Notify") && arg == 0:
+		return "a ptask Notify callback (delivered on the event loop)", true
+	case c.isMethod(pkgAndroid, "Handler", "Post") && arg == 0,
+		c.isMethod(pkgAndroid, "Handler", "PostAndWait") && arg == 0:
+		return "an android.Handler callback (runs on the main looper)", true
+	}
+	return "", false
+}
+
+// blockingCall classifies calls that park the calling goroutine until
+// other work completes.
+func blockingCall(c callee) (string, bool) {
+	switch {
+	case c.isMethod(pkgCore, "Future", "Get"):
+		return "waits for the future", true
+	case c.isMethod(pkgCore, "Pool", "Quiesce"):
+		return "waits for the whole pool to drain", true
+	case c.isMethod(pkgCore, "Pool", "Help"):
+		return "donates the calling thread to the pool until done", true
+	case c.isMethod(pkgPtask, "Task", "Result"):
+		return "waits for the task", true
+	case c.isMethod(pkgPtask, "MultiTask", "Results"):
+		return "waits for every subtask", true
+	case c.is(pkgPtask, "WaitAll"):
+		return "waits for all dependences", true
+	case c.is(pkgPyjama, "Parallel"), c.is(pkgPyjama, "ParallelWithStats"),
+		c.is(pkgPyjama, "ParallelFor"), c.is(pkgPyjama, "ParallelForReduce"):
+		return "runs a synchronous parallel region to completion", true
+	case c.isMethod(pkgAndroid, "AsyncTask", "Get"):
+		return "waits for the AsyncTask", true
+	case c.isMethod(pkgAndroid, "SerialExecutor", "Wait"):
+		return "waits for the executor to drain", true
+	case c.isMethod(pkgEventloop, "Loop", "Probe"):
+		return "synchronously measures the loop for the whole probe duration", true
+	case c.pkg == "time" && c.recv == "" && c.name == "Sleep":
+		return "sleeps", true
+	}
+	return "", false
+}
+
+// String renders the callee for diagnostics.
+func (c callee) String() string {
+	short := c.pkg
+	if i := lastSlash(c.pkg); i >= 0 {
+		short = c.pkg[i+1:]
+	}
+	if c.recv != "" {
+		return fmt.Sprintf("(%s.%s).%s", short, c.recv, c.name)
+	}
+	return fmt.Sprintf("%s.%s", short, c.name)
+}
+
+func lastSlash(s string) int {
+	for i := len(s) - 1; i >= 0; i-- {
+		if s[i] == '/' {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,407 @@
+package parcvet
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"parc751/internal/parcvet/analysis"
+	"parc751/internal/report"
+)
+
+// SharedWriteAnalyzer flags unsynchronised writes to captured variables
+// inside closures that the runtime executes concurrently — the classic
+// race the paper's Java-memory-model lab (§IV-C) teaches. A worksharing
+// body runs on every team member at once; `sum += x` on a captured `sum`
+// is a data race unless the write is serialised (tc.Critical, Single,
+// Master, Ordered, a held sync.Mutex) or restructured as a reduction /
+// per-thread slot.
+var SharedWriteAnalyzer = &analysis.Analyzer{
+	Name: "sharedwrite",
+	Doc: `report racy writes to captured variables in parallel closure bodies
+
+Closures passed to pyjama worksharing constructs (tc.For, ParallelFor,
+ForReduce bodies), parallel region bodies, and ptask/pool task bodies run
+concurrently. Writing a variable captured from outside the concurrency
+boundary races unless the write is serialised. The boundary is
+per-construct: a tc.For body closure is created by each team member, so
+anything declared in the member's own frame (the region body, a helper
+taking the tc) is private; a pyjama.Parallel region body or ParallelFor
+body is one closure shared by the whole team, so only its own locals are
+private; a task closure created inside a loop owns that iteration's
+locals. Recognised-safe patterns: element writes indexed by the loop
+variable, tc.ThreadNum(), or a per-instance local (distinct slots); writes
+inside tc.Critical/Single/SingleNoWait/Master/Ordered closures; writes
+preceded by a sync.Mutex Lock in the same statement sequence; and closures
+delivered on the GUI thread (serialised by the single looper). Captured
+maps are flagged unconditionally — concurrent map writes are undefined
+behaviour even on distinct keys. Restructure with pyjama.ForReduce,
+ThreadPrivate, or tc.Critical.`,
+	Severity: report.Error,
+	Run:      runSharedWrite,
+}
+
+func runSharedWrite(pass *analysis.Pass) error {
+	info := pass.TypesInfo
+	pass.Inspect.WithStack([]ast.Node{(*ast.FuncLit)(nil)}, func(n ast.Node, stack []ast.Node) bool {
+		lit := n.(*ast.FuncLit)
+		c, arg, ok := funcLitArg(info, stack)
+		if !ok {
+			return true
+		}
+		// localNodes are the regions whose declarations do not race with
+		// other executions of this closure — the concurrency boundary.
+		localNodes := []ast.Node{lit}
+		var kind string
+		switch {
+		case isTCWorksharingBody(c, arg) || c.isMethod(pkgPyjama, "TC", "Sections"):
+			// SPMD: each member executes the enclosing region body (or a
+			// helper that received the tc) in its own frame and builds its
+			// own closure instance there. Locals of that frame are
+			// per-member; only captures from beyond it are shared.
+			if kind = "worksharing body " + c.String(); c.recv == "TC" && c.name == "Sections" {
+				kind = "sections body"
+			}
+			if fn := enclosingFunction(stack[:len(stack)-1]); fn != nil {
+				localNodes = append(localNodes, fn)
+			}
+		case isWorksharingBody(c, arg):
+			// ParallelFor / ForReduce-style package-level constructs: one
+			// closure shared by the whole team.
+			kind = "worksharing body " + c.String()
+		case isRegionBody(c, arg):
+			kind = "parallel region body " + c.String()
+		case isTaskBody(c, arg):
+			kind = "task body " + c.String()
+			// A task closure built inside a loop captures that iteration's
+			// locals — fresh per instance, so not shared between tasks.
+			localNodes = append(localNodes, enclosingLoops(stack[:len(stack)-1])...)
+		default:
+			return true
+		}
+		checkConcurrentBody(pass, lit, kind, localNodes)
+		return true
+	})
+	return nil
+}
+
+// isTCWorksharingBody reports whether the callee/arg pair is the body of a
+// TC-method worksharing construct (closure built per member, SPMD-style),
+// as opposed to the package-level constructs that share one closure.
+func isTCWorksharingBody(c callee, arg int) bool {
+	return c.recv == "TC" && isWorksharingBody(c, arg)
+}
+
+// enclosingFunction returns the innermost function declaration or literal
+// on the stack, or nil.
+func enclosingFunction(stack []ast.Node) ast.Node {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch stack[i].(type) {
+		case *ast.FuncLit, *ast.FuncDecl:
+			return stack[i]
+		}
+	}
+	return nil
+}
+
+// enclosingLoops returns the for/range statements on the stack inside the
+// innermost enclosing function.
+func enclosingLoops(stack []ast.Node) []ast.Node {
+	var out []ast.Node
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch stack[i].(type) {
+		case *ast.FuncLit, *ast.FuncDecl:
+			return out
+		case *ast.ForStmt, *ast.RangeStmt:
+			out = append(out, stack[i])
+		}
+	}
+	return out
+}
+
+// checkConcurrentBody scans one concurrently-executed closure for
+// captured-variable writes.
+func checkConcurrentBody(pass *analysis.Pass, body *ast.FuncLit, kind string, localNodes []ast.Node) {
+	info := pass.TypesInfo
+
+	// The loop-index parameters of the body (i in func(i int), (i, j) in
+	// For2D, (lo, hi) in ForChunked): indexing by them addresses distinct
+	// elements per iteration.
+	indexParams := map[types.Object]bool{}
+	for _, field := range body.Type.Params.List {
+		for _, name := range field.Names {
+			if obj := info.Defs[name]; obj != nil {
+				if basic, ok := obj.Type().Underlying().(*types.Basic); ok && basic.Info()&types.IsInteger != 0 {
+					indexParams[obj] = true
+				}
+			}
+		}
+	}
+
+	// Walk the body carrying the "serialised" state: once we are inside a
+	// closure passed to Critical/Single/Master/Ordered or delivered on the
+	// single GUI thread, writes are safe.
+	var walk func(n ast.Node, serialised bool)
+	walk = func(root ast.Node, serialised bool) {
+		ast.Inspect(root, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				c, ok := calleeOf(info, n)
+				if !ok || !containsFuncLitArg(n) {
+					return true
+				}
+				// Walk the arguments by hand so each closure gets the
+				// right serialisation state, then stop the default
+				// descent (it would re-walk them with the wrong state).
+				walk(n.Fun, serialised)
+				for i, a := range n.Args {
+					inner, isLit := ast.Unparen(a).(*ast.FuncLit)
+					if !isLit {
+						walk(a, serialised)
+						continue
+					}
+					switch {
+					case isSerialisingBody(c, i):
+						walk(inner.Body, true)
+					case isGUIDelivered(c, i):
+						// Everything the loop delivers runs on the one
+						// dispatch thread, in order.
+						walk(inner.Body, true)
+					case isWorksharingBody(c, i) || isRegionBody(c, i) || isTaskBody(c, i) || c.isMethod(pkgPyjama, "TC", "Sections"):
+						// A nested parallel construct: runSharedWrite
+						// scans it as its own context.
+					default:
+						walk(inner.Body, serialised)
+					}
+				}
+				return false
+			case *ast.AssignStmt:
+				if !serialised {
+					for _, lhs := range n.Lhs {
+						checkWrite(pass, body, lhs, indexParams, kind, localNodes)
+					}
+				}
+				return true
+			case *ast.IncDecStmt:
+				if !serialised {
+					checkWrite(pass, body, n.X, indexParams, kind, localNodes)
+				}
+				return true
+			}
+			return true
+		})
+	}
+	walk(body.Body, false)
+}
+
+// containsFuncLitArg reports whether any argument of call is a function
+// literal (those are walked explicitly with the right serialisation
+// state).
+func containsFuncLitArg(call *ast.CallExpr) bool {
+	for _, a := range call.Args {
+		if _, ok := ast.Unparen(a).(*ast.FuncLit); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// isSerialisingBody reports whether the callee/arg pair executes the
+// closure with mutual exclusion (or exactly-once) semantics.
+func isSerialisingBody(c callee, arg int) bool {
+	switch {
+	case c.isMethod(pkgPyjama, "TC", "Critical") && arg == 1,
+		c.isMethod(pkgPyjama, "TC", "Single") && arg == 0,
+		c.isMethod(pkgPyjama, "TC", "SingleNoWait") && arg == 0,
+		c.isMethod(pkgPyjama, "TC", "Master") && arg == 0,
+		c.isMethod(pkgPyjama, "TC", "Ordered") && arg == 1:
+		return true
+	}
+	return false
+}
+
+// isGUIDelivered reports whether the callee/arg pair is a closure the
+// runtime delivers on the single event-dispatch thread.
+func isGUIDelivered(c callee, arg int) bool {
+	_, ok := guiHandlerContext(c, arg)
+	return ok
+}
+
+// checkWrite analyses one assignment target inside a concurrent body.
+func checkWrite(pass *analysis.Pass, body *ast.FuncLit, lhs ast.Expr, indexParams map[types.Object]bool, kind string, localNodes []ast.Node) {
+	info := pass.TypesInfo
+
+	// Unwrap the access path down to the root identifier, remembering the
+	// index expressions and whether any step goes through a map.
+	var indexes []ast.Expr
+	mapWrite := false
+	expr := lhs
+unwrap:
+	for {
+		switch e := expr.(type) {
+		case *ast.ParenExpr:
+			expr = e.X
+		case *ast.StarExpr:
+			expr = e.X
+		case *ast.SelectorExpr:
+			expr = e.X
+		case *ast.IndexExpr:
+			if t := typeOf(pass, e.X); t != nil {
+				if _, ok := t.Underlying().(*types.Map); ok {
+					mapWrite = true
+				}
+			}
+			indexes = append(indexes, e.Index)
+			expr = e.X
+		default:
+			break unwrap
+		}
+	}
+	root, ok := expr.(*ast.Ident)
+	if !ok || root.Name == "_" {
+		return
+	}
+	obj := objOf(info, root)
+	v, ok := obj.(*types.Var)
+	if !ok {
+		return
+	}
+	if declaredInsideAny(v, localNodes) {
+		return // private to this execution of the concurrent body
+	}
+	// Pointer-typed roots that are per-iteration would already be local;
+	// a captured pointer dereference is still a shared write.
+
+	if underMutexLock(info, body, lhs.Pos()) {
+		return // the statement sequence holds a sync.Mutex around the write
+	}
+
+	if mapWrite {
+		pass.Reportf(lhs.Pos(),
+			"concurrent write to captured map %q in %s: map writes race even on distinct keys; merge per-thread maps with pyjama.ForReduce or guard with tc.Critical", root.Name, kind)
+		return
+	}
+	// Slice/array element writes addressed by the loop index or the
+	// thread id hit distinct slots — the idiomatic safe output pattern.
+	for _, idx := range indexes {
+		if indexIsDistinct(pass, idx, indexParams, localNodes) {
+			return
+		}
+	}
+	if len(indexes) > 0 {
+		pass.Reportf(lhs.Pos(),
+			"write to element of captured %q in %s with an index that is not derived from the loop variable or tc.ThreadNum(): concurrent iterations may hit the same slot; index by the loop variable, or reduce with pyjama.ForReduce", root.Name, kind)
+		return
+	}
+	pass.Reportf(lhs.Pos(),
+		"write to captured variable %q in %s: every concurrent execution races on it; use pyjama.ForReduce / ThreadPrivate per-thread slots, or serialise with tc.Critical", root.Name, kind)
+}
+
+// declaredInsideAny reports whether obj is declared inside any of the
+// nodes.
+func declaredInsideAny(obj types.Object, nodes []ast.Node) bool {
+	for _, n := range nodes {
+		if declaredInside(obj, n) {
+			return true
+		}
+	}
+	return false
+}
+
+// underMutexLock reports whether, in some statement sequence inside body
+// enclosing pos, the write at pos is preceded by a bare `m.Lock()` on a
+// sync.Mutex/RWMutex with no later bare `Unlock()` before it. The scan is
+// sibling-level only (it does not look inside compound statements for
+// lock operations), which keeps it a cheap, predictable heuristic: the
+// canonical lock…write…unlock sequence is recognised, contrived shapes
+// fall back to reporting.
+func underMutexLock(info *types.Info, body *ast.FuncLit, pos token.Pos) bool {
+	held := false
+	ast.Inspect(body.Body, func(n ast.Node) bool {
+		if n == nil || held {
+			return false
+		}
+		var list []ast.Stmt
+		switch n := n.(type) {
+		case *ast.BlockStmt:
+			list = n.List
+		case *ast.CaseClause:
+			list = n.Body
+		case *ast.CommClause:
+			list = n.Body
+		default:
+			return true
+		}
+		// Only sequences that contain pos matter.
+		locked := false
+		for _, s := range list {
+			if s.Pos() > pos {
+				break
+			}
+			if s.End() > pos {
+				// s is the statement containing the write.
+				if locked {
+					held = true
+				}
+				break
+			}
+			switch mutexOp(info, s) {
+			case "Lock":
+				locked = true
+			case "Unlock":
+				locked = false
+			}
+		}
+		return !held
+	})
+	return held
+}
+
+// mutexOp classifies a statement as a bare sync mutex Lock/Unlock call.
+func mutexOp(info *types.Info, s ast.Stmt) string {
+	es, ok := s.(*ast.ExprStmt)
+	if !ok {
+		return ""
+	}
+	call, ok := ast.Unparen(es.X).(*ast.CallExpr)
+	if !ok {
+		return ""
+	}
+	c, ok := calleeOf(info, call)
+	if !ok || c.pkg != "sync" || (c.recv != "Mutex" && c.recv != "RWMutex") {
+		return ""
+	}
+	switch c.name {
+	case "Lock":
+		return "Lock"
+	case "Unlock":
+		return "Unlock"
+	}
+	return ""
+}
+
+// indexIsDistinct reports whether the index expression plausibly
+// addresses a distinct element per concurrent execution: it mentions a
+// loop-index parameter, a tc.ThreadNum() call, or a variable private to
+// this execution (which the lint assumes was derived from one — the
+// deliberate false-negative documented in DESIGN.md §9).
+func indexIsDistinct(pass *analysis.Pass, idx ast.Expr, indexParams map[types.Object]bool, localNodes []ast.Node) bool {
+	info := pass.TypesInfo
+	distinct := false
+	ast.Inspect(idx, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.Ident:
+			if obj := objOf(info, n); obj != nil {
+				if indexParams[obj] || declaredInsideAny(obj, localNodes) {
+					distinct = true
+				}
+			}
+		case *ast.CallExpr:
+			if c, ok := calleeOf(info, n); ok && c.isMethod(pkgPyjama, "TC", "ThreadNum") {
+				distinct = true
+			}
+		}
+		return !distinct
+	})
+	return distinct
+}

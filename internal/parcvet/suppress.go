@@ -1,0 +1,78 @@
+package parcvet
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"parc751/internal/report"
+)
+
+// suppressDirective is the comment form that silences one finding:
+//
+//	//parcvet:ignore <rule> <reason>
+//
+// placed on the flagged line or the line immediately above it. The rule
+// must name an analyzer and the reason must be non-empty — a suppression
+// without a justification is itself reported, because the course protocol
+// treats "silenced, no reason given" as a smell worth a deduction.
+const suppressDirective = "parcvet:ignore"
+
+// suppression is one parsed ignore comment.
+type suppression struct {
+	rule string
+	line int
+	used bool
+}
+
+// suppressionSet holds the ignore comments of one package, keyed by file.
+type suppressionSet struct {
+	byFile map[string][]*suppression
+	// malformed collects ill-formed directives as findings.
+	malformed []report.Finding
+}
+
+// collectSuppressions scans every comment in the package's files.
+func collectSuppressions(fset *token.FileSet, files []*ast.File, relPos func(token.Pos) string) *suppressionSet {
+	set := &suppressionSet{byFile: map[string][]*suppression{}}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//"+suppressDirective)
+				if !ok {
+					continue
+				}
+				posn := fset.Position(c.Pos())
+				fields := strings.Fields(text)
+				if len(fields) < 2 {
+					set.malformed = append(set.malformed, report.Finding{
+						Tool: "parcvet", Rule: "suppression",
+						Pos: relPos(c.Pos()), Severity: report.Warning,
+						Detail: "malformed //parcvet:ignore: want `//parcvet:ignore <rule> <reason>` (reason is required)",
+					})
+					continue
+				}
+				set.byFile[posn.Filename] = append(set.byFile[posn.Filename], &suppression{
+					rule: fields[0],
+					line: posn.Line,
+				})
+			}
+		}
+	}
+	return set
+}
+
+// matches reports whether a finding of the given rule at posn is covered
+// by a suppression on the same line or the line above.
+func (s *suppressionSet) matches(rule string, posn token.Position) bool {
+	for _, sup := range s.byFile[posn.Filename] {
+		if sup.rule != rule {
+			continue
+		}
+		if sup.line == posn.Line || sup.line == posn.Line-1 {
+			sup.used = true
+			return true
+		}
+	}
+	return false
+}

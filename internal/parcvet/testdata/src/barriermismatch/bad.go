@@ -1,0 +1,39 @@
+// Package barriermismatch holds misuse fixtures: team-synchronising
+// constructs under thread-divergent control flow.
+package barriermismatch
+
+import "parc751/internal/pyjama"
+
+func divergentBarrier() {
+	pyjama.Parallel(4, func(tc *pyjama.TC) {
+		if tc.ThreadNum() == 0 { // want `encounters 1 team-synchronising construct`
+			tc.Barrier()
+		}
+	})
+}
+
+func barrierInSingle() {
+	pyjama.Parallel(4, func(tc *pyjama.TC) {
+		tc.Single(func() {
+			tc.Barrier() // want `runs on one member only`
+		})
+	})
+}
+
+func forInWorksharing(xs []int) {
+	pyjama.Parallel(4, func(tc *pyjama.TC) {
+		tc.For(len(xs), pyjama.Static(0), func(i int) {
+			tc.Barrier() // want `iterations are divided, not replicated`
+		})
+	})
+}
+
+func worksharingInMaster(xs []int) {
+	pyjama.Parallel(4, func(tc *pyjama.TC) {
+		tc.Master(func() {
+			tc.For(len(xs), pyjama.Static(0), func(i int) { // want `runs on one member only`
+				xs[i]++
+			})
+		})
+	})
+}

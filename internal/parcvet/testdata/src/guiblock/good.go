@@ -1,0 +1,39 @@
+package guiblock
+
+import (
+	"time"
+
+	"parc751/internal/eventloop"
+	"parc751/internal/ptask"
+	"parc751/internal/pyjama"
+)
+
+// offloaded launches the work off-thread and hops back with Notify: the
+// handler itself never blocks.
+func offloaded(rt *ptask.Runtime, loop *eventloop.Loop) {
+	_ = loop.InvokeLater(func() {
+		t := ptask.Run(rt, func() (int, error) {
+			time.Sleep(time.Millisecond) // fine: runs on a pool worker
+			return 1, nil
+		})
+		t.Notify(func(int, error) {})
+	})
+}
+
+// asyncRegion uses pyjama.Async, the non-blocking region launcher made
+// for exactly this situation.
+func asyncRegion(loop *eventloop.Loop, xs []int) {
+	_ = loop.InvokeLater(func() {
+		pyjama.Async(loop, 2, func(tc *pyjama.TC) {
+			tc.For(len(xs), pyjama.Static(0), func(i int) { xs[i]++ })
+		}, func(error) {})
+	})
+}
+
+// goroutineEscape: a go statement leaves the dispatch thread, so blocking
+// inside it is fine.
+func goroutineEscape(loop *eventloop.Loop) {
+	_ = loop.InvokeLater(func() {
+		go func() { time.Sleep(time.Millisecond) }()
+	})
+}

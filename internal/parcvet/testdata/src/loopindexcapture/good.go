@@ -1,0 +1,31 @@
+package loopindexcapture
+
+import (
+	"parc751/internal/ptask"
+	"parc751/internal/pyjama"
+)
+
+// shadowed: the per-iteration copy breaks the capture.
+func shadowed(rt *ptask.Runtime, xs []int) {
+	var i int
+	for i = 0; i < len(xs); i++ {
+		i := i
+		t := ptask.Run(rt, func() (int, error) { return xs[i], nil })
+		t.Notify(func(int, error) {})
+	}
+}
+
+// parameterised: the index arrives as a closure parameter, not a capture.
+func parameterised(rt *ptask.Runtime, xs []int) {
+	m := ptask.RunMulti(rt, len(xs), func(i int) (int, error) {
+		return xs[i] * 2, nil
+	})
+	m.Notify(func([]int, error) {})
+}
+
+// worksharing: pyjama hands the index in, so there is nothing to capture.
+func worksharing(xs []int) {
+	pyjama.ParallelFor(2, len(xs), pyjama.Static(0), func(i int) {
+		xs[i] *= 2
+	})
+}

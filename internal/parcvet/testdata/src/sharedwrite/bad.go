@@ -1,0 +1,45 @@
+// Package sharedwrite holds misuse fixtures: racy writes to captured
+// variables in concurrently-executed closures.
+package sharedwrite
+
+import (
+	"parc751/internal/ptask"
+	"parc751/internal/pyjama"
+)
+
+func racySum(xs []int) int {
+	sum := 0
+	pyjama.Parallel(4, func(tc *pyjama.TC) {
+		tc.For(len(xs), pyjama.Static(0), func(i int) {
+			sum += xs[i] // want `write to captured variable "sum"`
+		})
+	})
+	return sum
+}
+
+func racyMap(xs []int) map[int]int {
+	hist := map[int]int{}
+	pyjama.Parallel(4, func(tc *pyjama.TC) {
+		tc.For(len(xs), pyjama.Static(0), func(i int) {
+			hist[xs[i]]++ // want `concurrent write to captured map "hist"`
+		})
+	})
+	return hist
+}
+
+func racySlot(xs, out []int, k int) {
+	pyjama.Parallel(4, func(tc *pyjama.TC) {
+		tc.For(len(xs), pyjama.Static(0), func(i int) {
+			out[k] = xs[i] // want `index that is not derived from the loop variable`
+		})
+	})
+}
+
+func racyTask(rt *ptask.Runtime) {
+	hits := 0
+	t := ptask.Run(rt, func() (int, error) {
+		hits++ // want `write to captured variable "hits"`
+		return hits, nil
+	})
+	t.Notify(func(int, error) {})
+}

@@ -1,0 +1,68 @@
+package sharedwrite
+
+import (
+	"sync"
+
+	"parc751/internal/pyjama"
+	"parc751/internal/reduction"
+)
+
+// distinctSlots writes each iteration to its own element — the idiomatic
+// safe output pattern.
+func distinctSlots(xs, out []int) {
+	pyjama.Parallel(4, func(tc *pyjama.TC) {
+		tc.For(len(xs), pyjama.Static(0), func(i int) {
+			out[i] = xs[i] * 2
+		})
+	})
+}
+
+// perMember accumulates into a region-body local (private to each member,
+// because every member runs the region body in its own frame) and merges
+// under tc.Critical.
+func perMember(xs []int) int {
+	total := 0
+	pyjama.Parallel(4, func(tc *pyjama.TC) {
+		mine := 0
+		tc.ForNoWait(len(xs), pyjama.Static(0), func(i int) {
+			mine += xs[i]
+		})
+		tc.Critical("merge", func() {
+			total += mine
+		})
+	})
+	return total
+}
+
+// mutexGuarded serialises the shared update with a sync.Mutex held around
+// the write.
+func mutexGuarded(xs []int) int {
+	var mu sync.Mutex
+	total := 0
+	pyjama.Parallel(4, func(tc *pyjama.TC) {
+		sub := 0
+		tc.ForNoWait(len(xs), pyjama.Static(0), func(i int) { sub += xs[i] })
+		mu.Lock()
+		total += sub
+		mu.Unlock()
+	})
+	return total
+}
+
+// reduced restructures the accumulation as a reduction — the course's
+// preferred fix.
+func reduced(xs []int) int {
+	return pyjama.ParallelForReduce(4, len(xs), pyjama.Static(0), reduction.Sum[int](),
+		func(i, acc int) int { return acc + xs[i] })
+}
+
+// threadSlots writes through tc.ThreadNum() — one slot per member.
+func threadSlots(xs []int, nthreads int) []int {
+	partial := make([]int, nthreads)
+	pyjama.Parallel(nthreads, func(tc *pyjama.TC) {
+		tc.ForNoWait(len(xs), pyjama.Static(0), func(i int) {
+			partial[tc.ThreadNum()] += xs[i]
+		})
+	})
+	return partial
+}

@@ -1,0 +1,27 @@
+// Package suppress exercises the //parcvet:ignore directive: a
+// well-formed suppression silences its finding, a reason-less one is
+// itself reported and silences nothing.
+package suppress
+
+import "parc751/internal/pyjama"
+
+func suppressed(xs []int) int {
+	sum := 0
+	pyjama.Parallel(4, func(tc *pyjama.TC) {
+		tc.For(len(xs), pyjama.Static(0), func(i int) {
+			//parcvet:ignore sharedwrite lab 3 demonstrates this exact race on purpose
+			sum += xs[i]
+		})
+	})
+	return sum
+}
+
+func reasonless(xs []int) int {
+	n := 0
+	pyjama.Parallel(2, func(tc *pyjama.TC) {
+		tc.For(len(xs), pyjama.Static(0), func(i int) {
+			n += xs[i] //parcvet:ignore sharedwrite
+		})
+	})
+	return n
+}

@@ -12,26 +12,31 @@ import (
 	"fmt"
 	"io/fs"
 	"path"
+	"regexp"
 	"sort"
 	"strings"
+
+	"parc751/internal/report"
 )
 
-// Severity ranks a finding.
-type Severity int
+// driveLetterRe matches a Windows drive-letter path: a single letter,
+// colon, backslash, where the letter is not preceded by another
+// identifier character or a %-verb. The shape constraint keeps ordinary
+// colon-then-escape sequences in string literals ("findings" + colon +
+// newline escape) and format strings ("%d" + colon + escape) from being
+// mistaken for paths.
+var driveLetterRe = regexp.MustCompile(`(^|[^A-Za-z0-9_%])[A-Za-z]:\\`)
+
+// Severity ranks a finding. It is the shared course-report severity, so
+// parcaudit and parcvet findings compose into one report (see
+// internal/report).
+type Severity = report.Severity
 
 // Severity levels.
 const (
-	Warning Severity = iota
-	Error
+	Warning = report.Warning
+	Error   = report.Error
 )
-
-// String names the severity.
-func (s Severity) String() string {
-	if s == Error {
-		return "error"
-	}
-	return "warning"
-}
 
 // Violation is one hygiene finding.
 type Violation struct {
@@ -44,6 +49,26 @@ type Violation struct {
 // String renders the violation.
 func (v Violation) String() string {
 	return fmt.Sprintf("%s: %s: %s (%s)", v.Severity, v.Rule, v.Path, v.Detail)
+}
+
+// Finding converts the violation into the shared course-report vocabulary.
+func (v Violation) Finding() report.Finding {
+	return report.Finding{
+		Tool:     "parcaudit",
+		Rule:     v.Rule,
+		Pos:      v.Path,
+		Severity: v.Severity,
+		Detail:   v.Detail,
+	}
+}
+
+// Findings converts a violation list for report.Render.
+func Findings(vs []Violation) []report.Finding {
+	out := make([]report.Finding, len(vs))
+	for i, v := range vs {
+		out[i] = v.Finding()
+	}
+	return out
 }
 
 // File is one file in the audited tree: a slash-separated path plus
@@ -150,7 +175,7 @@ func Audit(cfg Config, files []File) []Violation {
 					Detail: "mixed newline conventions churn the subversion history",
 				})
 			}
-			if isSource(clean) && strings.Contains(string(f.Content), ":\\") {
+			if isSource(clean) && driveLetterRe.Match(f.Content) {
 				out = append(out, Violation{
 					Rule: "hardcoded-windows-path", Path: p, Severity: Error,
 					Detail: "drive-letter paths cannot work on the PARC Linux systems",

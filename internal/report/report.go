@@ -1,0 +1,118 @@
+// Package report is the shared finding vocabulary of the course tooling:
+// parcaudit (repository hygiene, §IV-A) and parcvet (concurrency misuse,
+// §III/§IV-C) both render their results through it, so the two checkers
+// compose into one course report with consistent severities, text output,
+// JSON output, and exit codes.
+//
+// Conventions (shared by both CLIs):
+//
+//	exit 0 — ran, no error-severity findings
+//	exit 1 — ran, at least one error-severity finding
+//	exit 2 — could not run (bad flags, unreadable tree, load failure)
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Severity ranks a finding.
+type Severity int
+
+// Severity levels. Error-severity findings fail CI; warnings inform.
+const (
+	Warning Severity = iota
+	Error
+)
+
+// String names the severity.
+func (s Severity) String() string {
+	if s == Error {
+		return "error"
+	}
+	return "warning"
+}
+
+// MarshalJSON renders the severity as its name, not its rank.
+func (s Severity) MarshalJSON() ([]byte, error) {
+	return json.Marshal(s.String())
+}
+
+// UnmarshalJSON accepts the severity name.
+func (s *Severity) UnmarshalJSON(b []byte) error {
+	var name string
+	if err := json.Unmarshal(b, &name); err != nil {
+		return err
+	}
+	switch name {
+	case "error":
+		*s = Error
+	case "warning":
+		*s = Warning
+	default:
+		return fmt.Errorf("report: unknown severity %q", name)
+	}
+	return nil
+}
+
+// Finding is one diagnostic from any course checker.
+type Finding struct {
+	// Tool is the checker that produced the finding ("parcaudit",
+	// "parcvet").
+	Tool string `json:"tool"`
+	// Rule is the violated rule or analyzer name.
+	Rule string `json:"rule"`
+	// Pos locates the finding: "file:line:col" for source diagnostics,
+	// a repo-relative path for tree diagnostics.
+	Pos      string   `json:"pos"`
+	Severity Severity `json:"severity"`
+	// Detail is the human-readable explanation.
+	Detail string `json:"detail"`
+}
+
+// String renders the finding in the grep-friendly one-line form both CLIs
+// print.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s: [%s] %s", f.Pos, f.Severity, f.Rule, f.Detail)
+}
+
+// Errors filters findings to severity Error.
+func Errors(fs []Finding) []Finding {
+	var out []Finding
+	for _, f := range fs {
+		if f.Severity == Error {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// ExitCode maps findings to the shared CLI exit convention.
+func ExitCode(fs []Finding) int {
+	if len(Errors(fs)) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// Render writes the findings to w: an indented JSON array when jsonOut is
+// set (machine consumption, always an array — never null), otherwise one
+// line per finding followed by a summary line.
+func Render(w io.Writer, fs []Finding, jsonOut bool) error {
+	if jsonOut {
+		if fs == nil {
+			fs = []Finding{}
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(fs)
+	}
+	for _, f := range fs {
+		if _, err := fmt.Fprintln(w, f); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "%d finding(s), %d error(s)\n", len(fs), len(Errors(fs)))
+	return err
+}
