@@ -234,6 +234,30 @@ func BenchmarkA6ScheduleAblation(b *testing.B) {
 	b.ReportMetric(spread, "skewed_spread")
 }
 
+// ---- Ablation A8: chaos harness (DESIGN.md §10) ----
+//
+// Drives the A8 registry experiment: seeded fault plans replayed over
+// quicksort, thumbnails, and webfetch, asserting the failure-semantics
+// invariants (no deadlock, no lost future, exactly-once error surfacing,
+// deterministic replay) on every iteration.
+
+func BenchmarkA8Chaos(b *testing.B) {
+	e, ok := experiments.ByID("A8")
+	if !ok {
+		b.Fatal("A8 experiment not registered")
+	}
+	cfg := experiments.QuickConfig()
+	var checks float64
+	for i := 0; i < b.N; i++ {
+		res := e.Run(cfg)
+		if !res.AllPassed() {
+			b.Fatalf("A8 chaos findings failed: %v", res.FailedFindings())
+		}
+		checks = res.Metrics["checks_passed"]
+	}
+	b.ReportMetric(checks, "checks_passed")
+}
+
 // ---- Model-overhead comparison: cost per task/iteration in each model ----
 
 func BenchmarkModelOverheadPTask(b *testing.B) {

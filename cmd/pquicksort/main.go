@@ -7,6 +7,7 @@
 //
 //	pquicksort -n 1000000 -workers 4
 //	pquicksort -n 500000 -impl ptask -threshold 2048
+//	pquicksort -n 200000 -chaos          # sort under seeded fault injection
 package main
 
 import (
@@ -16,7 +17,9 @@ import (
 	"sort"
 	"time"
 
+	"parc751/internal/faultinject"
 	"parc751/internal/ptask"
+	"parc751/internal/pyjama"
 	"parc751/internal/sortalgo"
 	"parc751/internal/workload"
 )
@@ -28,12 +31,33 @@ func main() {
 		threshold = flag.Int("threshold", 4096, "sequential cutoff")
 		impl      = flag.String("impl", "all", "seq | ptask | pyjama | go | all")
 		seed      = flag.Uint64("seed", 751, "input seed")
+		chaos     = flag.Bool("chaos", false,
+			"inject a seeded fault plan (submit/run delays, a worker stall, barrier arrival skew) while sorting; the result must still verify")
 	)
 	flag.Parse()
 
 	base := workload.IntArray(*seed, *n, 1<<30)
 	rt := ptask.NewRuntime(*workers)
 	defer rt.Shutdown()
+
+	var injector *faultinject.Injector
+	if *chaos {
+		plan := faultinject.Plan{Name: "pquicksort-chaos", Seed: *seed}
+		plan.Rules = append(plan.Rules,
+			faultinject.Scatter(*seed, faultinject.SiteSubmit, faultinject.Delay, 8, 64, 200*time.Microsecond)...)
+		plan.Rules = append(plan.Rules,
+			faultinject.Rule{Site: faultinject.SiteRun, Kind: faultinject.Stall,
+				Nth: *seed % 32, Count: 1, Dur: 2 * time.Millisecond},
+			faultinject.Rule{Site: faultinject.SiteBarrierArrive, Kind: faultinject.Delay,
+				Every: 3, Dur: 300 * time.Microsecond})
+		injector = faultinject.New(plan)
+		rt.SetFaultInjector(injector)
+		pyjama.SetFaultInjector(injector)
+		defer func() {
+			pyjama.SetFaultInjector(nil)
+			fmt.Printf("chaos: injected %d faults: %s\n", injector.Fired(), injector.TraceString())
+		}()
+	}
 
 	impls := map[string]func([]int){
 		"seq":    sortalgo.Sequential,

@@ -5,6 +5,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"parc751/internal/faultinject"
 )
 
 // ErrBarrierAborted is the panic value delivered to parties blocked in
@@ -97,6 +99,11 @@ type Barrier struct {
 	aborted   atomic.Bool
 	abortCh   chan struct{}
 	abortOnce sync.Once
+
+	// fi is the optional chaos injector: when attached, every arrival
+	// passes a SiteBarrierArrive point (delay rules skew arrival order).
+	// nil in production — one atomic load per arrival.
+	fi atomic.Pointer[faultinject.Injector]
 }
 
 // NewBarrier creates a barrier for parties participants (minimum 1).
@@ -180,7 +187,15 @@ func (b *Barrier) AwaitAs(id int) (gen int, serial bool) {
 	return b.await(g, id)
 }
 
+// SetFaultInjector attaches (or, with nil, detaches) a chaos injector.
+// Arrival-delay rules then perturb the order in which parties reach the
+// tree, the schedule dimension barrier bugs hide in.
+func (b *Barrier) SetFaultInjector(in *faultinject.Injector) { b.fi.Store(in) }
+
 func (b *Barrier) await(g *barGen, pos int) (int, bool) {
+	if in := b.fi.Load(); in != nil {
+		in.Point(faultinject.SiteBarrierArrive)
+	}
 	st := &b.stats[pos]
 	st.waits.Add(1)
 	// Climb: count down at the leaf; the last arrival at each node carries

@@ -9,12 +9,14 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"parc751/internal/faultinject"
 	"parc751/internal/metrics"
 	"parc751/internal/sched"
 )
@@ -30,6 +32,16 @@ type PanicError struct {
 
 // Error implements the error interface.
 func (e *PanicError) Error() string { return fmt.Sprintf("task panicked: %v", e.Value) }
+
+// Unwrap exposes the panic value when it is itself an error, so callers
+// can errors.Is/As through a captured panic (e.g. to an injected fault or
+// a sentinel the panicking code chose deliberately).
+func (e *PanicError) Unwrap() error {
+	if err, ok := e.Value.(error); ok {
+		return err
+	}
+	return nil
+}
 
 // Catch runs fn, converting a panic into a *PanicError.
 func Catch(fn func()) (err error) {
@@ -112,7 +124,9 @@ const latencySampleMask = 63
 // from any goroutine while the pool is live; Shutdown drains all
 // submitted work and stops the workers. After Shutdown the pool is dead:
 // Submit panics (a silent submit would strand the task forever, since no
-// worker will ever run it), and Shutdown must not be called twice.
+// worker will ever run it). Shutdown is idempotent — later calls are
+// no-ops. ShutdownTimeout bounds the drain and abandons stragglers with
+// an error instead of hanging forever.
 type Pool struct {
 	workers []*worker
 	global  sched.FIFO[func()]
@@ -144,6 +158,15 @@ type Pool struct {
 
 	latN atomic.Int64
 	lat  metrics.LatencyHistogram
+
+	// fi is the optional chaos-harness injector (see internal/faultinject).
+	// nil in production: every hook below is a single atomic pointer load
+	// and a predictable branch, which the no-overhead guard test pins.
+	fi atomic.Pointer[faultinject.Injector]
+
+	// abandoned records tasks (queued or running) given up on by a timed
+	// ShutdownTimeout; it is zero on every clean shutdown.
+	abandoned atomic.Int64
 }
 
 // parkSlot is one parking place: a buffered wake channel plus the worker
@@ -188,6 +211,17 @@ func NewPool(n int) *Pool {
 // Size returns the number of workers.
 func (p *Pool) Size() int { return len(p.workers) }
 
+// SetFaultInjector attaches (or, with nil, detaches) a chaos-harness
+// injector. Submit, steal, and task execution then consult it; with none
+// attached those hooks cost one pointer load. Attach before the workload
+// of interest — events that already happened are not replayed.
+func (p *Pool) SetFaultInjector(in *faultinject.Injector) { p.fi.Store(in) }
+
+// FaultInjector returns the attached injector, or nil. Task layers above
+// the pool (ptask) use this to inject task-body faults under their own
+// panic capture.
+func (p *Pool) FaultInjector() *faultinject.Injector { return p.fi.Load() }
+
 // Executed returns the number of tasks that have finished running.
 func (p *Pool) Executed() int64 { return p.executed.Load() }
 
@@ -198,6 +232,9 @@ func (p *Pool) Executed() int64 { return p.executed.Load() }
 func (p *Pool) Submit(fn func()) {
 	if p.down.Load() {
 		panic("core: Submit on a Pool after Shutdown (task would never run)")
+	}
+	if in := p.fi.Load(); in != nil {
+		in.Point(faultinject.SiteSubmit)
 	}
 	p.inflight.Add(1)
 	// queued is incremented before the task is visible in any queue and
@@ -350,6 +387,9 @@ func (p *Pool) findWork(w *worker) (func(), bool) {
 			v := p.victims.Next(w.id)
 			if fn, ok := p.workers[v].deque.Steal(); ok {
 				p.queued.Add(-1)
+				if in := p.fi.Load(); in != nil {
+					in.Point(faultinject.SiteSteal)
+				}
 				return fn, true
 			}
 		}
@@ -358,6 +398,11 @@ func (p *Pool) findWork(w *worker) (func(), bool) {
 }
 
 func (p *Pool) runTask(fn func()) {
+	if in := p.fi.Load(); in != nil {
+		// A Stall rule here wedges this worker before it executes the
+		// task, modelling a stalled core: siblings must steal its queue.
+		in.Point(faultinject.SiteRun)
+	}
 	// Panics are contained per-task; the task wrapper (e.g. a ptask
 	// future) is responsible for recording them. A bare Submit that
 	// panics must still not kill the worker.
@@ -444,14 +489,82 @@ func (p *Pool) Quiesce() {
 }
 
 // Shutdown waits for all submitted work to finish, then stops the workers.
-// The pool must not be used afterwards: a later Submit panics, and a
-// second Shutdown is undefined.
+// The pool must not be used afterwards: a later Submit panics. Shutdown is
+// idempotent: a second (or concurrent) call is a no-op that returns
+// without waiting for the first caller's drain.
 func (p *Pool) Shutdown() {
+	if p.down.Load() {
+		return
+	}
 	p.Quiesce()
 	if p.down.CompareAndSwap(false, true) {
-		close(p.stop) // exactly one caller closes; Shutdown is idempotent
+		close(p.stop) // exactly one caller closes
+		p.wg.Wait()
 	}
-	p.wg.Wait()
+}
+
+// ErrShutdownTimeout is returned (wrapped) by ShutdownTimeout when the
+// pool failed to drain in time and stragglers were abandoned.
+var ErrShutdownTimeout = errors.New("core: shutdown timed out")
+
+// ShutdownTimeout is Shutdown with a bounded drain: it waits up to d for
+// in-flight work to finish. On success it behaves exactly like Shutdown
+// and returns nil. On timeout it stops the pool anyway — idle workers
+// exit, queued tasks are abandoned unrun, and workers wedged inside a
+// task are left behind rather than waited for — and returns an error
+// wrapping ErrShutdownTimeout with the straggler count (also visible as
+// Stats().Abandoned). Either way the pool is dead afterwards; a later
+// Submit panics and a later Shutdown is a no-op.
+func (p *Pool) ShutdownTimeout(d time.Duration) error {
+	if p.down.Load() {
+		return nil
+	}
+	drained := p.quiesceTimeout(d)
+	if p.down.CompareAndSwap(false, true) {
+		close(p.stop)
+	}
+	if drained {
+		p.wg.Wait()
+		return nil
+	}
+	n := p.inflight.Load()
+	p.abandoned.Store(n)
+	return fmt.Errorf("%w: abandoned %d task(s) still queued or running after %v",
+		ErrShutdownTimeout, n, d)
+}
+
+// quiesceTimeout waits for the pool to drain, giving up after d. The wait
+// itself is event-driven (the qcond waiter used by Quiesce); the timeout
+// path broadcasts so the helper goroutine always exits promptly instead
+// of leaking on a pool that never drains.
+func (p *Pool) quiesceTimeout(d time.Duration) bool {
+	if p.inflight.Load() == 0 {
+		return true
+	}
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	var timedOut atomic.Bool
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		p.qwaiters.Add(1)
+		defer p.qwaiters.Add(-1)
+		p.qmu.Lock()
+		for p.inflight.Load() != 0 && !timedOut.Load() {
+			p.qcond.Wait()
+		}
+		p.qmu.Unlock()
+	}()
+	select {
+	case <-done:
+	case <-timer.C:
+		timedOut.Store(true)
+		p.qmu.Lock()
+		p.qcond.Broadcast()
+		p.qmu.Unlock()
+		<-done
+	}
+	return p.inflight.Load() == 0
 }
 
 // Stats assembles a point-in-time scheduler snapshot: per-worker deque
@@ -465,6 +578,7 @@ func (p *Pool) Stats() sched.Snapshot {
 		Queued:        p.queued.Load(),
 		Inflight:      p.inflight.Load(),
 		Executed:      p.executed.Load(),
+		Abandoned:     p.abandoned.Load(),
 		SubmitLatency: p.lat.Snapshot(),
 	}
 	for i, w := range p.workers {

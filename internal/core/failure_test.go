@@ -1,0 +1,249 @@
+package core
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"parc751/internal/faultinject"
+)
+
+func TestShutdownTimeoutCleanDrain(t *testing.T) {
+	p := NewPool(2)
+	var ran atomic.Int32
+	for i := 0; i < 50; i++ {
+		p.Submit(func() { ran.Add(1) })
+	}
+	if err := p.ShutdownTimeout(5 * time.Second); err != nil {
+		t.Fatalf("clean drain returned %v", err)
+	}
+	if ran.Load() != 50 {
+		t.Fatalf("ran %d tasks, want 50", ran.Load())
+	}
+	if got := p.Stats().Abandoned; got != 0 {
+		t.Fatalf("abandoned = %d on a clean shutdown", got)
+	}
+}
+
+func TestShutdownTimeoutAbandonsStragglers(t *testing.T) {
+	p := NewPool(2)
+	release := make(chan struct{})
+	var wedged sync.WaitGroup
+	wedged.Add(2)
+	for i := 0; i < 2; i++ {
+		p.Submit(func() { wedged.Done(); <-release })
+	}
+	wedged.Wait() // both workers are now stuck inside tasks
+	for i := 0; i < 5; i++ {
+		p.Submit(func() {})
+	}
+
+	start := time.Now()
+	err := p.ShutdownTimeout(50 * time.Millisecond)
+	if !errors.Is(err, ErrShutdownTimeout) {
+		t.Fatalf("got %v, want ErrShutdownTimeout", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("timed shutdown did not return promptly")
+	}
+	if got := p.Stats().Abandoned; got != 7 {
+		t.Errorf("abandoned = %d, want 7 (2 wedged + 5 queued)", got)
+	}
+
+	// The pool is dead: Submit must panic, further shutdowns are no-ops.
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Submit after timed shutdown did not panic")
+			}
+		}()
+		p.Submit(func() {})
+	}()
+	p.Shutdown() // must return immediately, not hang on the wedged tasks
+	if err := p.ShutdownTimeout(time.Millisecond); err != nil {
+		t.Errorf("second ShutdownTimeout = %v, want nil no-op", err)
+	}
+	close(release) // let the wedged goroutines drain
+}
+
+func TestShutdownIdempotentAfterShutdown(t *testing.T) {
+	p := NewPool(2)
+	var ran atomic.Int32
+	p.Submit(func() { ran.Add(1) })
+	p.Shutdown()
+	done := make(chan struct{})
+	go func() {
+		p.Shutdown() // documented no-op, must not hang or panic
+		p.Shutdown()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("repeated Shutdown hung")
+	}
+	if ran.Load() != 1 {
+		t.Fatalf("ran = %d, want 1", ran.Load())
+	}
+}
+
+// TestPoolHooksInjectAndTrace drives a pool with delay rules at all three
+// pool sites and checks the injector observed the traffic.
+func TestPoolHooksInjectAndTrace(t *testing.T) {
+	in := faultinject.New(faultinject.Plan{Rules: []faultinject.Rule{
+		{Site: faultinject.SiteSubmit, Kind: faultinject.Delay, Nth: 2, Count: 1, Dur: time.Millisecond},
+		{Site: faultinject.SiteRun, Kind: faultinject.Stall, Nth: 1, Count: 1, Dur: 2 * time.Millisecond},
+	}})
+	p := NewPool(2)
+	p.SetFaultInjector(in)
+	var ran atomic.Int32
+	for i := 0; i < 20; i++ {
+		p.Submit(func() { ran.Add(1) })
+	}
+	p.Shutdown()
+	if ran.Load() != 20 {
+		t.Fatalf("ran %d, want 20 (faults must not lose tasks)", ran.Load())
+	}
+	if in.Seen(faultinject.SiteSubmit) != 20 {
+		t.Errorf("submit events = %d, want 20", in.Seen(faultinject.SiteSubmit))
+	}
+	if in.Seen(faultinject.SiteRun) != 20 {
+		t.Errorf("run events = %d, want 20", in.Seen(faultinject.SiteRun))
+	}
+	if in.Fired() != 2 {
+		t.Errorf("fired = %d, want 2 (%s)", in.Fired(), in.TraceString())
+	}
+}
+
+// TestBarrierAbortRacesAwaitAs races Abort against concurrent AwaitAs
+// arrivals whose order is skewed by injected arrival delays. The
+// invariant is liveness plus a clean split: every party either completes
+// a generation or panics ErrBarrierAborted — never deadlocks. Run under
+// -race this is the regression net for the abort/arrival window (Abort
+// was previously only tested against a quiescent barrier).
+func TestBarrierAbortRacesAwaitAs(t *testing.T) {
+	const parties = 4
+	for round := 0; round < 25; round++ {
+		b := NewBarrier(parties)
+		in := faultinject.New(faultinject.Plan{Rules: []faultinject.Rule{
+			// Periodic sub-millisecond arrival delays desynchronise the
+			// team so Abort lands in every phase of the protocol across
+			// rounds: pre-arrival, mid-climb, spinning, and parked.
+			{Site: faultinject.SiteBarrierArrive, Kind: faultinject.Delay,
+				Nth: uint64(round % 3), Every: 5, Dur: 200 * time.Microsecond},
+		}})
+		b.SetFaultInjector(in)
+
+		var aborted, generations atomic.Int32
+		var wg sync.WaitGroup
+		for id := 0; id < parties; id++ {
+			wg.Add(1)
+			go func(id int) {
+				defer wg.Done()
+				defer func() {
+					if r := recover(); r != nil {
+						if r != ErrBarrierAborted {
+							panic(r)
+						}
+						aborted.Add(1)
+					}
+				}()
+				for i := 0; i < 40; i++ {
+					b.AwaitAs(id)
+					generations.Add(1)
+				}
+			}(id)
+		}
+		time.Sleep(time.Duration(round*37) * time.Microsecond)
+		b.Abort()
+
+		done := make(chan struct{})
+		go func() { wg.Wait(); close(done) }()
+		select {
+		case <-done:
+		case <-time.After(10 * time.Second):
+			t.Fatalf("round %d: team deadlocked after Abort", round)
+		}
+		// A party that never saw the abort finished all 40 generations;
+		// everyone else must have panicked with ErrBarrierAborted.
+		finished := int32(0)
+		if g := generations.Load(); g == int32(40*parties) {
+			finished = int32(parties)
+		}
+		if aborted.Load()+finished < 1 {
+			t.Fatalf("round %d: no party aborted or finished", round)
+		}
+	}
+}
+
+// TestDisabledHookOverheadGuard is the no-overhead proof for the chaos
+// hooks: with no injector attached, Submit's hook is one atomic pointer
+// load. The guard pins (a) an absolute per-submit ceiling far below
+// anything a real hook slip-up would produce, and (b) that the disabled
+// path is no slower than the enabled-but-empty-plan path (which does
+// strictly more work per event).
+func TestDisabledHookOverheadGuard(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing guard")
+	}
+	const tasks = 20000
+	measure := func(in *faultinject.Injector) time.Duration {
+		p := NewPool(2)
+		defer p.Shutdown()
+		p.SetFaultInjector(in)
+		var sink atomic.Int64
+		start := time.Now()
+		for i := 0; i < tasks; i++ {
+			p.Submit(func() { sink.Add(1) })
+		}
+		p.Quiesce()
+		return time.Since(start)
+	}
+	empty := faultinject.New(faultinject.Plan{})
+	var disabled, enabled time.Duration
+	// Take the best of several trials each: minima are robust against
+	// scheduler noise on shared CI hardware.
+	disabled, enabled = time.Hour, time.Hour
+	for trial := 0; trial < 5; trial++ {
+		if d := measure(nil); d < disabled {
+			disabled = d
+		}
+		if d := measure(empty); d < enabled {
+			enabled = d
+		}
+	}
+	perSubmit := disabled / tasks
+	if perSubmit > 5*time.Microsecond {
+		t.Errorf("disabled-hook submit path costs %v/op, want <= 5µs (hook overhead crept in)", perSubmit)
+	}
+	if disabled > enabled*2 {
+		t.Errorf("disabled hooks (%v) slower than enabled empty plan (%v): nil fast path broken",
+			disabled, enabled)
+	}
+	t.Logf("submit+run cost: disabled=%v enabled(empty plan)=%v for %d tasks", disabled, enabled, tasks)
+}
+
+func BenchmarkSubmitHookDisabled(b *testing.B) {
+	p := NewPool(2)
+	defer p.Shutdown()
+	var sink atomic.Int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Submit(func() { sink.Add(1) })
+	}
+	p.Quiesce()
+}
+
+func BenchmarkSubmitHookAttachedEmptyPlan(b *testing.B) {
+	p := NewPool(2)
+	defer p.Shutdown()
+	p.SetFaultInjector(faultinject.New(faultinject.Plan{}))
+	var sink atomic.Int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Submit(func() { sink.Add(1) })
+	}
+	p.Quiesce()
+}

@@ -1,0 +1,358 @@
+// Package faultinject is the deterministic chaos harness behind the A8
+// experiment: seeded, schedule-replayable fault plans injected into the
+// runtime through cheap nil-checked hooks. The runtime layers (core.Pool,
+// core.Barrier, eventloop.Loop, webfetch, ptask) each hold an optional
+// *Injector; when it is nil — the production configuration — the hook is
+// a single pointer compare and the hot paths are unchanged (the guard
+// test in internal/core asserts this stays true).
+//
+// Determinism model: every injection site keeps an atomic event counter,
+// and a Rule fires on specific event ordinals (Nth, or Nth + k*Every,
+// capped by Count). The same plan therefore injects the same multiset of
+// (site, ordinal) faults on every run, independent of goroutine
+// interleaving — which *task* draws ordinal N may vary, but the injected
+// schedule and the multiset of surfaced errors do not. Plans are built
+// from a seed (see Scatter), so "same seed ⇒ same injected schedule ⇒
+// same surfaced errors" holds end to end; Injector.Trace records what
+// actually fired so experiments can assert the replay matched.
+package faultinject
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"parc751/internal/xrand"
+)
+
+// Site identifies one injection point in the runtime.
+type Site uint8
+
+const (
+	// SiteSubmit fires on every core.Pool.Submit (delay-class faults).
+	SiteSubmit Site = iota
+	// SiteSteal fires on every successful steal in core.Pool.findWork.
+	SiteSteal
+	// SiteRun fires before a worker executes a task; a Stall here models
+	// a stalled worker whose queued work must be stolen by siblings.
+	SiteRun
+	// SiteBarrierArrive fires as a party arrives at a core.Barrier.
+	SiteBarrierArrive
+	// SiteDispatch fires before the event loop runs a dispatched event.
+	SiteDispatch
+	// SiteTaskBody fires inside a ptask task body, under the task's panic
+	// capture — the only site where Panic-class faults are legal, so an
+	// injected panic surfaces as an error on the future, never as a
+	// crashed worker.
+	SiteTaskBody
+	// SiteTransport fires in the webfetch RoundTripper; Error and Hang
+	// faults are legal here.
+	SiteTransport
+	numSites
+)
+
+var siteNames = [numSites]string{
+	"submit", "steal", "run", "barrier", "dispatch", "taskbody", "transport",
+}
+
+// String returns the site's short name.
+func (s Site) String() string {
+	if int(s) < len(siteNames) {
+		return siteNames[s]
+	}
+	return fmt.Sprintf("site(%d)", uint8(s))
+}
+
+// Kind classifies what a fired rule does.
+type Kind uint8
+
+const (
+	// Delay sleeps for the rule's duration at the site.
+	Delay Kind = iota
+	// Stall is a long Delay, named separately so traces and invariants
+	// can distinguish "jitter" from "a worker wedged for a while".
+	Stall
+	// Panic panics with an *InjectedPanic (SiteTaskBody only; other
+	// sites treat it as Delay so a misplaced rule cannot kill a worker).
+	Panic
+	// Error returns the rule's error (SiteTransport only).
+	Error
+	// Hang blocks until the request context is cancelled and then
+	// returns its error (SiteTransport only).
+	Hang
+)
+
+var kindNames = []string{"delay", "stall", "panic", "error", "hang"}
+
+// String returns the kind's short name.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// InjectedPanic is the panic value of a Panic-class fault. Carrying the
+// site ordinal makes every injected failure uniquely attributable, so A8
+// can assert "every injected fault surfaced as exactly one error".
+type InjectedPanic struct {
+	Ordinal uint64
+}
+
+// Error makes an InjectedPanic usable directly as an error value.
+func (p InjectedPanic) Error() string {
+	return fmt.Sprintf("faultinject: injected panic (taskbody ordinal %d)", p.Ordinal)
+}
+
+// ErrInjected is the error returned by Error-class transport faults,
+// wrapped with the ordinal: errors.Is(err, ErrInjected) identifies it.
+var ErrInjected = errors.New("faultinject: injected transport error")
+
+// Rule is one line of a fault plan: at the rule's Site, fire on event
+// ordinal Nth and every Every events after that (Every == 0 means fire on
+// Nth only), at most Count times (Count == 0 means unlimited).
+type Rule struct {
+	Site  Site
+	Kind  Kind
+	Nth   uint64 // first firing ordinal (0-based)
+	Every uint64 // period after Nth; 0 = one-shot
+	Count uint64 // max firings; 0 = unlimited
+	Dur   time.Duration
+}
+
+// matches reports whether the rule fires on event ordinal n (ignoring the
+// Count cap, which the injector enforces with its own counter).
+func (r Rule) matches(n uint64) bool {
+	if n < r.Nth {
+		return false
+	}
+	if r.Every == 0 {
+		return n == r.Nth
+	}
+	return (n-r.Nth)%r.Every == 0
+}
+
+// Plan is a named, seeded set of rules. The Seed documents how the rules
+// were derived (plan builders draw ordinals from it) and keys the
+// deterministic backoff jitter used elsewhere in the failure stack.
+type Plan struct {
+	Name  string
+	Seed  uint64
+	Rules []Rule
+}
+
+// Scatter builds count one-shot rules at site, with ordinals drawn
+// deterministically from seed in [0, span) — the standard way A8 derives
+// "fail the Nth task" schedules from a seed. Duplicate ordinals are
+// re-drawn so exactly count distinct events fault.
+func Scatter(seed uint64, site Site, kind Kind, count, span int, dur time.Duration) []Rule {
+	if count > span {
+		count = span
+	}
+	rng := xrand.New(seed ^ uint64(site)<<8 ^ uint64(kind))
+	seen := make(map[uint64]bool, count)
+	rules := make([]Rule, 0, count)
+	for len(rules) < count {
+		n := uint64(rng.Intn(span))
+		if seen[n] {
+			continue
+		}
+		seen[n] = true
+		rules = append(rules, Rule{Site: site, Kind: kind, Nth: n, Count: 1, Dur: dur})
+	}
+	sort.Slice(rules, func(i, j int) bool { return rules[i].Nth < rules[j].Nth })
+	return rules
+}
+
+// Event is one fired fault, as recorded in the trace.
+type Event struct {
+	Site    Site
+	Ordinal uint64 // site event ordinal the rule fired on
+	Kind    Kind
+	Rule    int // index into Plan.Rules
+}
+
+// String renders the event for experiment output.
+func (e Event) String() string {
+	return fmt.Sprintf("%s@%d:%s", e.Site, e.Ordinal, e.Kind)
+}
+
+// Injector applies a Plan. All methods are safe for concurrent use; the
+// match path is lock-free (per-site atomic counters plus per-rule firing
+// caps), and only actual firings take the trace mutex.
+type Injector struct {
+	plan   Plan
+	seen   [numSites]atomic.Uint64 // events observed per site
+	fired  []atomic.Uint64         // firings per rule (Count enforcement)
+	bySite [numSites][]int         // rule indices per site
+
+	mu    sync.Mutex
+	trace []Event
+}
+
+// New builds an injector for the plan.
+func New(plan Plan) *Injector {
+	in := &Injector{plan: plan, fired: make([]atomic.Uint64, len(plan.Rules))}
+	for i, r := range plan.Rules {
+		if r.Site < numSites {
+			in.bySite[r.Site] = append(in.bySite[r.Site], i)
+		}
+	}
+	return in
+}
+
+// Plan returns the injector's plan.
+func (in *Injector) Plan() Plan { return in.plan }
+
+// fire advances site's event counter and returns the first matching rule
+// index, or -1. The counter advances on every call — that is what makes
+// ordinals a stable coordinate system — but rules, traces, and sleeps are
+// only touched on a hit.
+func (in *Injector) fire(site Site) (ruleIdx int, ordinal uint64) {
+	n := in.seen[site].Add(1) - 1
+	for _, ri := range in.bySite[site] {
+		r := &in.plan.Rules[ri]
+		if !r.matches(n) {
+			continue
+		}
+		if r.Count > 0 {
+			// Reserve a firing slot; losing the race to the cap means the
+			// rule is spent.
+			if c := in.fired[ri].Add(1); c > r.Count {
+				in.fired[ri].Add(^uint64(0))
+				continue
+			}
+		} else {
+			in.fired[ri].Add(1)
+		}
+		in.mu.Lock()
+		in.trace = append(in.trace, Event{Site: site, Ordinal: n, Kind: r.Kind, Rule: ri})
+		in.mu.Unlock()
+		return ri, n
+	}
+	return -1, n
+}
+
+// Point is the generic delay-class hook: it advances the site counter and
+// sleeps when a Delay/Stall rule fires. Panic-class rules at non-taskbody
+// sites degrade to their duration as a delay (a misplaced panic must not
+// kill a pool worker); Error/Hang rules are ignored here.
+func (in *Injector) Point(site Site) {
+	ri, _ := in.fire(site)
+	if ri < 0 {
+		return
+	}
+	r := &in.plan.Rules[ri]
+	switch r.Kind {
+	case Delay, Stall, Panic:
+		if r.Dur > 0 {
+			time.Sleep(r.Dur)
+		}
+	}
+}
+
+// TaskBody is the SiteTaskBody hook: Delay/Stall rules sleep, and Panic
+// rules panic with an *InjectedPanic carrying the event ordinal. It must
+// be called under panic capture (ptask task bodies are).
+func (in *Injector) TaskBody() {
+	ri, n := in.fire(SiteTaskBody)
+	if ri < 0 {
+		return
+	}
+	r := &in.plan.Rules[ri]
+	if r.Dur > 0 {
+		time.Sleep(r.Dur)
+	}
+	if r.Kind == Panic {
+		panic(&InjectedPanic{Ordinal: n})
+	}
+}
+
+// Transport is the SiteTransport hook. It returns a non-nil error when an
+// Error rule fires (wrapped ErrInjected), blocks until ctx is done for a
+// Hang rule (returning ctx.Err()), and sleeps for Delay/Stall rules.
+func (in *Injector) Transport(ctx context.Context) error {
+	ri, n := in.fire(SiteTransport)
+	if ri < 0 {
+		return nil
+	}
+	r := &in.plan.Rules[ri]
+	switch r.Kind {
+	case Error:
+		return fmt.Errorf("%w (ordinal %d)", ErrInjected, n)
+	case Hang:
+		if r.Dur > 0 {
+			// A bounded hang: wedge for Dur or until the caller gives up.
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(r.Dur):
+				return fmt.Errorf("%w (hang expired, ordinal %d)", ErrInjected, n)
+			}
+		}
+		<-ctx.Done()
+		return ctx.Err()
+	default:
+		if r.Dur > 0 {
+			time.Sleep(r.Dur)
+		}
+	}
+	return nil
+}
+
+// Seen returns how many events have been observed at site.
+func (in *Injector) Seen(site Site) uint64 { return in.seen[site].Load() }
+
+// Fired returns the total number of faults injected so far.
+func (in *Injector) Fired() int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return len(in.trace)
+}
+
+// FiredAt returns how many faults of the given kind fired at site.
+func (in *Injector) FiredAt(site Site, kind Kind) int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	n := 0
+	for _, e := range in.trace {
+		if e.Site == site && e.Kind == kind {
+			n++
+		}
+	}
+	return n
+}
+
+// Trace returns a copy of the fired events in (site, ordinal) order — the
+// canonical replay coordinate, independent of wall-clock interleaving.
+// Two runs of the same plan over the same workload produce equal traces.
+func (in *Injector) Trace() []Event {
+	in.mu.Lock()
+	out := append([]Event(nil), in.trace...)
+	in.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Site != out[j].Site {
+			return out[i].Site < out[j].Site
+		}
+		return out[i].Ordinal < out[j].Ordinal
+	})
+	return out
+}
+
+// TraceString renders the canonical trace as one line, for experiment
+// tables and replay-equality assertions.
+func (in *Injector) TraceString() string {
+	evs := in.Trace()
+	parts := make([]string, len(evs))
+	for i, e := range evs {
+		parts[i] = e.String()
+	}
+	if len(parts) == 0 {
+		return "(no faults fired)"
+	}
+	return fmt.Sprint(parts)
+}

@@ -1,0 +1,219 @@
+package faultinject
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRuleMatches(t *testing.T) {
+	oneShot := Rule{Nth: 3}
+	for n, want := range map[uint64]bool{0: false, 2: false, 3: true, 4: false, 6: false} {
+		if oneShot.matches(n) != want {
+			t.Errorf("one-shot matches(%d) = %v, want %v", n, !want, want)
+		}
+	}
+	periodic := Rule{Nth: 2, Every: 5}
+	for n, want := range map[uint64]bool{0: false, 2: true, 5: false, 7: true, 12: true, 13: false} {
+		if periodic.matches(n) != want {
+			t.Errorf("periodic matches(%d) = %v, want %v", n, !want, want)
+		}
+	}
+}
+
+func TestScatterDeterministicAndDistinct(t *testing.T) {
+	a := Scatter(42, SiteTaskBody, Panic, 5, 100, 0)
+	b := Scatter(42, SiteTaskBody, Panic, 5, 100, 0)
+	if len(a) != 5 {
+		t.Fatalf("got %d rules, want 5", len(a))
+	}
+	seen := map[uint64]bool{}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed produced different rules: %+v vs %+v", a[i], b[i])
+		}
+		if seen[a[i].Nth] {
+			t.Fatalf("duplicate ordinal %d", a[i].Nth)
+		}
+		seen[a[i].Nth] = true
+	}
+	c := Scatter(43, SiteTaskBody, Panic, 5, 100, 0)
+	same := true
+	for i := range a {
+		if a[i].Nth != c[i].Nth {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical ordinals")
+	}
+	if got := Scatter(1, SiteRun, Delay, 10, 4, 0); len(got) != 4 {
+		t.Errorf("count clamped to span: got %d rules, want 4", len(got))
+	}
+}
+
+// TestFireExactlyOncePerOrdinal drives a one-shot rule from many
+// goroutines: the ordinal coordinate guarantees exactly one firing no
+// matter the interleaving.
+func TestFireExactlyOncePerOrdinal(t *testing.T) {
+	in := New(Plan{Rules: []Rule{{Site: SiteRun, Kind: Delay, Nth: 7, Count: 1}}})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				in.Point(SiteRun)
+			}
+		}()
+	}
+	wg.Wait()
+	if in.Fired() != 1 {
+		t.Fatalf("fired %d times, want 1", in.Fired())
+	}
+	tr := in.Trace()
+	if tr[0].Site != SiteRun || tr[0].Ordinal != 7 {
+		t.Fatalf("trace = %v, want run@7", tr)
+	}
+	if in.Seen(SiteRun) != 800 {
+		t.Fatalf("seen = %d, want 800", in.Seen(SiteRun))
+	}
+}
+
+func TestCountCapUnderConcurrency(t *testing.T) {
+	// A periodic rule with a cap must fire exactly Count times even when
+	// every event matches and many goroutines race.
+	in := New(Plan{Rules: []Rule{{Site: SiteSubmit, Kind: Delay, Every: 1, Count: 3}}})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				in.Point(SiteSubmit)
+			}
+		}()
+	}
+	wg.Wait()
+	if in.Fired() != 3 {
+		t.Fatalf("fired %d times, want 3", in.Fired())
+	}
+}
+
+func TestReplayProducesEqualTraces(t *testing.T) {
+	plan := Plan{Seed: 9, Rules: Scatter(9, SiteTaskBody, Panic, 4, 64, 0)}
+	run := func() string {
+		in := New(plan)
+		var wg sync.WaitGroup
+		for g := 0; g < 4; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < 16; i++ {
+					func() {
+						defer func() { recover() }()
+						in.TaskBody()
+					}()
+				}
+			}()
+		}
+		wg.Wait()
+		return in.TraceString()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("replay diverged:\n  %s\n  %s", a, b)
+	}
+}
+
+func TestTaskBodyPanicCarriesOrdinal(t *testing.T) {
+	in := New(Plan{Rules: []Rule{{Site: SiteTaskBody, Kind: Panic, Nth: 1, Count: 1}}})
+	in.TaskBody() // ordinal 0: no fault
+	var got *InjectedPanic
+	func() {
+		defer func() {
+			r := recover()
+			p, ok := r.(*InjectedPanic)
+			if !ok {
+				t.Fatalf("recovered %T, want *InjectedPanic", r)
+			}
+			got = p
+		}()
+		in.TaskBody()
+	}()
+	if got == nil || got.Ordinal != 1 {
+		t.Fatalf("injected panic = %+v, want ordinal 1", got)
+	}
+}
+
+func TestPanicRuleDegradesToDelayAtPoolSites(t *testing.T) {
+	// A Panic rule at a pool site must not panic (it would kill a worker
+	// outside any future's capture); it degrades to its delay.
+	in := New(Plan{Rules: []Rule{{Site: SiteRun, Kind: Panic, Nth: 0, Count: 1}}})
+	in.Point(SiteRun) // must not panic
+	if in.Fired() != 1 {
+		t.Fatal("degraded rule did not record a firing")
+	}
+}
+
+func TestTransportErrorAndHang(t *testing.T) {
+	in := New(Plan{Rules: []Rule{
+		{Site: SiteTransport, Kind: Error, Nth: 0, Count: 1},
+		{Site: SiteTransport, Kind: Hang, Nth: 1, Count: 1},
+	}})
+	if err := in.Transport(context.Background()); !errors.Is(err, ErrInjected) {
+		t.Fatalf("error fault: got %v, want ErrInjected", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err := in.Transport(ctx)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("hang fault: got %v, want deadline exceeded", err)
+	}
+	if time.Since(start) < 15*time.Millisecond {
+		t.Error("hang returned before the context deadline")
+	}
+	if err := in.Transport(context.Background()); err != nil {
+		t.Fatalf("ordinal 2 should be clean, got %v", err)
+	}
+}
+
+func TestRoundTripperInjectsAndPassesThrough(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("ok"))
+	}))
+	defer srv.Close()
+
+	in := New(Plan{Rules: []Rule{{Site: SiteTransport, Kind: Error, Nth: 0, Count: 1}}})
+	client := &http.Client{Transport: &RoundTripper{Injector: in}}
+	if _, err := client.Get(srv.URL); err == nil {
+		t.Fatal("first request should carry the injected error")
+	}
+	resp, err := client.Get(srv.URL)
+	if err != nil {
+		t.Fatalf("second request failed: %v", err)
+	}
+	resp.Body.Close()
+
+	// A nil injector must be transparent.
+	clean := &http.Client{Transport: &RoundTripper{}}
+	resp, err = clean.Get(srv.URL)
+	if err != nil {
+		t.Fatalf("nil-injector round trip failed: %v", err)
+	}
+	resp.Body.Close()
+}
+
+func TestDelaySleeps(t *testing.T) {
+	in := New(Plan{Rules: []Rule{{Site: SiteDispatch, Kind: Delay, Nth: 0, Count: 1, Dur: 10 * time.Millisecond}}})
+	start := time.Now()
+	in.Point(SiteDispatch)
+	if d := time.Since(start); d < 8*time.Millisecond {
+		t.Fatalf("delay slept %v, want >= 10ms", d)
+	}
+}

@@ -19,12 +19,15 @@
 package ptask
 
 import (
+	"context"
 	"errors"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"parc751/internal/core"
 	"parc751/internal/eventloop"
+	"parc751/internal/faultinject"
 	"parc751/internal/sched"
 )
 
@@ -67,6 +70,16 @@ func (rt *Runtime) Workers() int { return rt.pool.Size() }
 // panics, because no worker would ever execute them.
 func (rt *Runtime) Shutdown() { rt.pool.Shutdown() }
 
+// SetFaultInjector attaches (or, with nil, detaches) a chaos injector on
+// the underlying pool: submit/steal/run hooks fire in the pool, and task
+// bodies pass the SiteTaskBody point under their panic capture.
+func (rt *Runtime) SetFaultInjector(in *faultinject.Injector) { rt.pool.SetFaultInjector(in) }
+
+// ShutdownTimeout drains like Shutdown but gives up after d, abandoning
+// wedged or unstarted tasks (see core.Pool.ShutdownTimeout). It returns
+// nil on a clean drain.
+func (rt *Runtime) ShutdownTimeout(d time.Duration) error { return rt.pool.ShutdownTimeout(d) }
+
 // SchedStats returns a point-in-time snapshot of the underlying pool's
 // scheduler state: per-worker push/pop/steal/park/wake counts, global
 // queue activity, and the sampled submit→start latency histogram.
@@ -99,10 +112,15 @@ type Dep interface {
 	// onDone arranges for fn to be called exactly once when the
 	// dependence completes; if already complete, fn runs immediately.
 	onDone(fn func())
+	// depErr returns the dependence's settled error (nil on success).
+	// Valid only once the dependence is done — callers reach it from
+	// inside an onDone callback, where completion is guaranteed.
+	depErr() error
 }
 
-// Task is an asynchronous computation producing a T. Create with Run or
-// RunAfter, or as part of a multi-task.
+// Task is an asynchronous computation producing a T. Create with Run,
+// RunAfter, or the failure-semantics variants RunCtx/RunAfterCtx
+// (failure.go), or as part of a multi-task.
 type Task[T any] struct {
 	rt    *Runtime
 	fut   *core.Future[T]
@@ -112,6 +130,12 @@ type Task[T any] struct {
 	callbacks []func()
 	waitDeps  int
 	body      func() (T, error)
+
+	// Failure-semantics extensions (see failure.go). Legacy constructors
+	// leave these zero: DepRun policy, no context, no retry.
+	depPolicy DepPolicy
+	ctx       context.Context
+	retry     *RetryPolicy
 }
 
 // Run submits fn for asynchronous execution and returns its task handle.
@@ -121,25 +145,41 @@ func Run[T any](rt *Runtime, fn func() (T, error)) *Task[T] {
 
 // RunAfter submits fn to run only after every dependence in deps has
 // completed (whether successfully, with an error, or cancelled — the
-// dependent can inspect its dependences if it cares). A nil or empty deps
-// behaves like Run.
+// dependent can inspect its dependences if it cares; use RunAfterCtx for
+// the propagating DepCancel policy). A nil or empty deps behaves like
+// Run.
 func RunAfter[T any](rt *Runtime, deps []Dep, fn func() (T, error)) *Task[T] {
 	t := &Task[T]{rt: rt, fut: core.NewFuture[T](), body: fn}
 	t.state.Store(stateWaiting)
+	t.wireDeps(deps)
+	return t
+}
+
+// wireDeps arms the dependence countdown (or enqueues immediately when
+// there are none). Shared by the legacy and failure-semantics
+// constructors.
+func (t *Task[T]) wireDeps(deps []Dep) {
 	if len(deps) == 0 {
 		t.enqueue()
-		return t
+		return
 	}
 	t.mu.Lock()
 	t.waitDeps = len(deps)
 	t.mu.Unlock()
 	for _, d := range deps {
-		d.onDone(t.depDone)
+		d := d
+		d.onDone(func() { t.depDone(d.depErr()) })
 	}
-	return t
 }
 
-func (t *Task[T]) depDone() {
+func (t *Task[T]) depDone(err error) {
+	if err != nil && t.depPolicy == DepCancel {
+		// Propagate immediately: the dependent settles as cancelled with
+		// a wrapping DepError the moment any dependence fails, which in
+		// turn fails ITS dependents — failure flows down the DAG instead
+		// of dependents running against missing inputs.
+		t.cancelWith(&DepError{Cause: err})
+	}
 	t.mu.Lock()
 	t.waitDeps--
 	ready := t.waitDeps == 0
@@ -158,12 +198,43 @@ func (t *Task[T]) enqueue() {
 
 func (t *Task[T]) run() {
 	if !t.state.CompareAndSwap(stateQueued, stateRunning) {
-		return // cancelled while queued
+		return // cancelled while queued: the closure must not execute
 	}
+	t.mu.Lock()
+	body := t.body
+	t.body = nil // the task owns at most one execution; release the closure
+	t.mu.Unlock()
 	var val T
 	var err error
-	if perr := core.Catch(func() { val, err = t.body() }); perr != nil {
-		err = perr
+	if t.ctx != nil && t.ctx.Err() != nil {
+		// The context expired between enqueue and execution; settle
+		// without running the body.
+		t.complete(stateCancelled, val, ctxError(t.ctx.Err()))
+		return
+	}
+	in := t.rt.pool.FaultInjector()
+	attempt := 0
+	for {
+		err = nil
+		if perr := core.Catch(func() {
+			if in != nil {
+				// Inside Catch: an injected panic surfaces as an error on
+				// this future, never as a crashed worker.
+				in.TaskBody()
+			}
+			val, err = body()
+		}); perr != nil {
+			err = perr
+		}
+		if err == nil || t.retry == nil || attempt >= t.retry.MaxAttempts-1 ||
+			!t.retry.retryable(err) {
+			break
+		}
+		if !sleepCtx(t.ctx, t.retry.Backoff(attempt)) {
+			err = ctxError(t.ctx.Err())
+			break
+		}
+		attempt++
 	}
 	t.complete(stateDone, val, err)
 }
@@ -192,14 +263,32 @@ func (t *Task[T]) onDone(fn func()) {
 	t.mu.Unlock()
 }
 
+// depErr implements Dep.
+func (t *Task[T]) depErr() error {
+	_, err, _ := t.fut.TryGet()
+	return err
+}
+
 // Cancel attempts to cancel the task before it runs. It returns true when
-// the task will never execute (its future completes with ErrCancelled);
-// false when the task is already running or finished.
+// the task will never execute (its future completes with ErrCancelled and
+// the body closure is released without running); false when the task is
+// already running or finished.
 func (t *Task[T]) Cancel() bool {
+	return t.cancelWith(ErrCancelled)
+}
+
+// cancelWith is Cancel carrying a specific settlement error (ErrCancelled
+// for user cancels, a DepError for DAG propagation, a deadline error for
+// expired contexts). The CAS against run()'s queued→running transition is
+// what guarantees a queued-then-cancelled task's closure never executes.
+func (t *Task[T]) cancelWith(err error) bool {
 	if t.state.CompareAndSwap(stateWaiting, stateCancelled) ||
 		t.state.CompareAndSwap(stateQueued, stateCancelled) {
+		t.mu.Lock()
+		t.body = nil // never runs; release captured state eagerly
+		t.mu.Unlock()
 		var zero T
-		t.complete(stateCancelled, zero, ErrCancelled)
+		t.complete(stateCancelled, zero, err)
 		return true
 	}
 	return false
@@ -239,6 +328,8 @@ type MultiTask[T any] struct {
 	tasks     []*Task[T]
 	agg       *core.Future[[]T]
 	remaining atomic.Int32
+	policy    MultiPolicy
+	failFirst sync.Once
 
 	mu        sync.Mutex
 	callbacks []func()
@@ -248,8 +339,17 @@ type MultiTask[T any] struct {
 // the multi-task handle. n <= 0 yields an immediately-complete empty
 // handle (a negative n must not leave remaining below zero, or the
 // aggregate future would never complete and Results would hang forever).
+// The default failure policy is MultiFirstError; RunMultiPolicy selects
+// fail-fast or collect-all semantics.
 func RunMulti[T any](rt *Runtime, n int, fn func(i int) (T, error)) *MultiTask[T] {
-	m := &MultiTask[T]{rt: rt, agg: core.NewFuture[[]T]()}
+	return RunMultiPolicy(rt, n, MultiFirstError, fn)
+}
+
+// RunMultiPolicy is RunMulti with an explicit failure policy (see
+// MultiPolicy in failure.go): FailFast cancels not-yet-started siblings
+// the moment any sub-task fails, CollectAll joins every error.
+func RunMultiPolicy[T any](rt *Runtime, n int, policy MultiPolicy, fn func(i int) (T, error)) *MultiTask[T] {
+	m := &MultiTask[T]{rt: rt, agg: core.NewFuture[[]T](), policy: policy}
 	if n <= 0 {
 		m.agg.Complete(nil, nil)
 		return m
@@ -259,25 +359,60 @@ func RunMulti[T any](rt *Runtime, n int, fn func(i int) (T, error)) *MultiTask[T
 	for i := 0; i < n; i++ {
 		i := i
 		m.tasks[i] = Run(rt, func() (T, error) { return fn(i) })
-		m.tasks[i].onDone(m.subDone)
+	}
+	// Wire completions only after every sub-task exists: a fail-fast
+	// trigger walks the whole slice to cancel siblings.
+	for _, tk := range m.tasks {
+		tk := tk
+		tk.onDone(func() { m.subDone(tk) })
 	}
 	return m
 }
 
-func (m *MultiTask[T]) subDone() {
+func (m *MultiTask[T]) subDone(tk *Task[T]) {
+	if m.policy == MultiFailFast {
+		if err := tk.depErr(); err != nil && !errors.Is(err, ErrCancelled) {
+			// First real failure: cancel every sibling that has not
+			// started. Cancelled siblings settle immediately with
+			// ErrCancelled, so the aggregate join still completes.
+			m.failFirst.Do(func() {
+				for _, s := range m.tasks {
+					if s != tk {
+						s.Cancel()
+					}
+				}
+			})
+		}
+	}
 	if m.remaining.Add(-1) != 0 {
 		return
 	}
 	vals := make([]T, len(m.tasks))
-	var firstErr error
+	errs := make([]error, 0, len(m.tasks))
+	var firstReal error
 	for i, t := range m.tasks {
 		v, err := t.fut.Get()
 		vals[i] = v
-		if err != nil && firstErr == nil {
-			firstErr = err
+		if err != nil {
+			errs = append(errs, err)
+			if firstReal == nil && !errors.Is(err, ErrCancelled) {
+				firstReal = err
+			}
 		}
 	}
-	m.agg.Complete(vals, firstErr)
+	var aggErr error
+	switch {
+	case len(errs) == 0:
+		// all succeeded
+	case m.policy == MultiCollectAll:
+		aggErr = errors.Join(errs...)
+	case m.policy == MultiFailFast && firstReal != nil:
+		// Surface the root cause, not the ErrCancelled cascade it caused.
+		aggErr = firstReal
+	default:
+		aggErr = errs[0]
+	}
+	m.agg.Complete(vals, aggErr)
 	m.mu.Lock()
 	cbs := m.callbacks
 	m.callbacks = nil
@@ -285,6 +420,12 @@ func (m *MultiTask[T]) subDone() {
 	for _, cb := range cbs {
 		cb()
 	}
+}
+
+// depErr implements Dep.
+func (m *MultiTask[T]) depErr() error {
+	_, err, _ := m.agg.TryGet()
+	return err
 }
 
 // onDone implements Dep.

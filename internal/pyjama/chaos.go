@@ -1,0 +1,22 @@
+package pyjama
+
+import (
+	"sync/atomic"
+
+	"parc751/internal/faultinject"
+)
+
+// regionFI is the package-level chaos injector. Pyjama regions are created
+// inside algorithm code (sortalgo, mandel, ...) with no seam to pass an
+// injector through, so chaos runs attach one globally: every region
+// started while it is set wires it into the team barrier, where
+// arrival-delay rules skew the order members reach worksharing constructs
+// and barriers. nil in production — one atomic load per region start.
+var regionFI atomic.Pointer[faultinject.Injector]
+
+// SetFaultInjector attaches (or, with nil, detaches) the chaos injector
+// applied to every subsequently started parallel region. It returns the
+// previous injector so callers can restore it.
+func SetFaultInjector(in *faultinject.Injector) *faultinject.Injector {
+	return regionFI.Swap(in)
+}

@@ -104,6 +104,9 @@ func runRegion(nthreads int, body func(tc *TC)) *region {
 		barrier:  core.NewBarrier(nthreads),
 		counters: make([]threadCounters, nthreads),
 	}
+	if in := regionFI.Load(); in != nil {
+		reg.barrier.SetFaultInjector(in)
+	}
 	errs := make([]error, nthreads)
 	var wg sync.WaitGroup
 	wg.Add(nthreads)

@@ -36,6 +36,12 @@ type Snapshot struct {
 	Inflight int64
 	Executed int64
 
+	// Abandoned counts tasks given up on by a timed shutdown
+	// (core.Pool.ShutdownTimeout): queued work that was never run plus
+	// wedged tasks that were still running when the pool stopped waiting.
+	// Zero on every clean shutdown.
+	Abandoned int64
+
 	// SubmitLatency is the sampled submit→start latency distribution.
 	SubmitLatency metrics.LatencySnapshot
 }
@@ -77,8 +83,8 @@ func (s Snapshot) String() string {
 	}
 	var b strings.Builder
 	b.WriteString(tab.String())
-	fmt.Fprintf(&b, "global queue: depth=%d submits=%d | queued=%d inflight=%d executed=%d\n",
-		s.GlobalDepth, s.GlobalSubmits, s.Queued, s.Inflight, s.Executed)
+	fmt.Fprintf(&b, "global queue: depth=%d submits=%d | queued=%d inflight=%d executed=%d abandoned=%d\n",
+		s.GlobalDepth, s.GlobalSubmits, s.Queued, s.Inflight, s.Executed, s.Abandoned)
 	fmt.Fprintf(&b, "submit→start latency (sampled): %s\n", s.SubmitLatency.String())
 	return b.String()
 }

@@ -1,6 +1,8 @@
 package webfetch
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -27,8 +29,15 @@ type Fetcher struct {
 	conns  int
 	sem    chan struct{}
 
+	// Failure handling (failure.go): per-request timeout, optional retry
+	// budget with deterministic backoff, optional circuit breaker.
+	timeout time.Duration
+	retry   *ptask.RetryPolicy
+	breaker *Breaker
+
 	fetched atomic.Int64
 	bytes   atomic.Int64
+	retries atomic.Int64
 }
 
 // NewFetcher creates a fetcher with the given concurrent-connection
@@ -41,7 +50,7 @@ func NewFetcher(rt *ptask.Runtime, client *http.Client, conns int) *Fetcher {
 		client = http.DefaultClient
 	}
 	return &Fetcher{rt: rt, client: client, conns: conns,
-		sem: make(chan struct{}, conns)}
+		timeout: DefaultTimeout, sem: make(chan struct{}, conns)}
 }
 
 // Conns returns the connection budget.
@@ -55,34 +64,76 @@ func (f *Fetcher) BytesRead() int64 { return f.bytes.Load() }
 
 // FetchAll downloads every URL, at most `conns` concurrently, and returns
 // results in input order. onDone, if non-nil, streams results as they
-// complete (event-loop delivered when the runtime has one).
+// complete (event-loop delivered when the runtime has one). FetchAllCtx
+// (failure.go) is the cancellable variant.
 func (f *Fetcher) FetchAll(urls []string, onDone func(FetchResult)) []FetchResult {
-	multi := ptask.RunMulti(f.rt, len(urls), func(i int) (FetchResult, error) {
-		f.sem <- struct{}{}
-		defer func() { <-f.sem }()
-		return f.fetchOne(urls[i]), nil
-	})
-	if onDone != nil {
-		multi.NotifyEach(func(_ int, r FetchResult, err error) { onDone(r) })
-	}
-	out, _ := multi.Results()
-	return out
+	return f.FetchAllCtx(context.Background(), urls, onDone)
 }
 
-func (f *Fetcher) fetchOne(url string) FetchResult {
-	resp, err := f.client.Get(url)
-	if err != nil {
-		f.fetched.Add(1)
-		return FetchResult{URL: url, Err: err}
-	}
-	defer resp.Body.Close()
-	n, err := io.Copy(io.Discard, resp.Body)
-	if err == nil && resp.StatusCode != http.StatusOK {
-		err = fmt.Errorf("webfetch: %s returned %s", url, resp.Status)
+// fetchOne downloads url once (plus any retry budget), bounded by the
+// per-request timeout and gated by the circuit breaker when one is set.
+// Each retry attempt gets a fresh timeout; cancellations and deadline
+// expiries are terminal (retrying them only burns the budget).
+func (f *Fetcher) fetchOne(ctx context.Context, url string) FetchResult {
+	var res FetchResult
+	attempt := 0
+	for {
+		res = f.fetchAttempt(ctx, url)
+		if res.Err == nil || f.retry == nil || attempt >= f.retry.MaxAttempts-1 ||
+			errors.Is(res.Err, context.Canceled) || errors.Is(res.Err, context.DeadlineExceeded) ||
+			errors.Is(res.Err, ErrCircuitOpen) {
+			break
+		}
+		timer := time.NewTimer(f.retry.Backoff(attempt))
+		select {
+		case <-timer.C:
+		case <-ctx.Done():
+			timer.Stop()
+			f.fetched.Add(1)
+			return FetchResult{URL: url, Err: ctx.Err()}
+		}
+		timer.Stop()
+		f.retries.Add(1)
+		attempt++
 	}
 	f.fetched.Add(1)
-	f.bytes.Add(n)
-	return FetchResult{URL: url, Bytes: int(n), Err: err}
+	f.bytes.Add(int64(res.Bytes))
+	return res
+}
+
+// fetchAttempt is one network round trip.
+func (f *Fetcher) fetchAttempt(ctx context.Context, url string) FetchResult {
+	if f.breaker != nil {
+		if err := f.breaker.Allow(); err != nil {
+			return FetchResult{URL: url, Err: fmt.Errorf("webfetch: %s refused: %w", url, err)}
+		}
+	}
+	rctx := ctx
+	if f.timeout > 0 {
+		var cancel context.CancelFunc
+		rctx, cancel = context.WithTimeout(ctx, f.timeout)
+		defer cancel()
+	}
+	res := func() FetchResult {
+		req, err := http.NewRequestWithContext(rctx, http.MethodGet, url, nil)
+		if err != nil {
+			return FetchResult{URL: url, Err: err}
+		}
+		resp, err := f.client.Do(req)
+		if err != nil {
+			return FetchResult{URL: url, Err: err}
+		}
+		defer resp.Body.Close()
+		n, err := io.Copy(io.Discard, resp.Body)
+		if err == nil && resp.StatusCode != http.StatusOK {
+			err = fmt.Errorf("webfetch: %s returned %s", url, resp.Status)
+		}
+		return FetchResult{URL: url, Bytes: int(n), Err: err}
+	}()
+	if f.breaker != nil {
+		f.breaker.Report(res.Err)
+	}
+	return res
 }
 
 // TimedFetchAll runs FetchAll and reports the wall-clock duration, the
