@@ -1,0 +1,64 @@
+// Command parcload drives a running parcserve instance with the seeded
+// open-loop load generator and prints the status-code and latency
+// summary. Same engine as the A9 ablation and the serve smoke tests, so
+// a by-hand run reproduces exactly what CI measures.
+//
+// Usage:
+//
+//	parcload -url http://localhost:8751                  # default mix
+//	parcload -url http://localhost:8751 -n 500 -rate 200
+//	parcload -url http://localhost:8751 -kind spin -spin-ms 50 -rate 2000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+
+	"parc751/internal/parcserve/loadtest"
+)
+
+func main() {
+	var (
+		url    = flag.String("url", "http://localhost:8751", "parcserve base URL")
+		n      = flag.Int("n", 200, "total requests")
+		rate   = flag.Float64("rate", 100, "mean offered load, requests/second")
+		seed   = flag.Uint64("seed", 751, "generator seed (arrivals + mix picks)")
+		kind   = flag.String("kind", "", "single-kind run (default: the standard mix)")
+		sortN  = flag.Int("sort-n", 2000, "array length for sort jobs")
+		spinMs = flag.Int("spin-ms", 5, "busy time for spin jobs")
+		dlMs   = flag.Int("deadline-ms", 0, "per-job deadline (0 = server default)")
+	)
+	flag.Parse()
+
+	mix := []loadtest.JobSpec{
+		{Kind: "sort", Body: map[string]any{"n": *sortN, "deadline_ms": *dlMs}, Weight: 5},
+		{Kind: "spin", Body: map[string]any{"spin_ms": *spinMs, "deadline_ms": *dlMs}, Weight: 3},
+		{Kind: "thumbs", Body: map[string]any{"n": 8, "deadline_ms": *dlMs}, Weight: 1},
+		{Kind: "textsearch", Body: map[string]any{"n": 30, "deadline_ms": *dlMs}, Weight: 1},
+	}
+	if *kind != "" {
+		mix = []loadtest.JobSpec{{Kind: *kind, Body: map[string]any{
+			"n": *sortN, "spin_ms": *spinMs, "deadline_ms": *dlMs,
+		}, Weight: 1}}
+	}
+
+	fmt.Printf("parcload: %d requests at %.0f req/s against %s (seed %d)\n",
+		*n, *rate, *url, *seed)
+	res := loadtest.Run(loadtest.Config{
+		BaseURL:  *url,
+		Client:   &http.Client{Timeout: 2 * time.Minute},
+		Seed:     *seed,
+		Requests: *n,
+		Rate:     *rate,
+		Mix:      mix,
+	})
+	fmt.Printf("parcload: %s in %v (ok-rate %.1f%%)\n",
+		res.Summary(), res.Elapsed.Round(time.Millisecond), 100*res.OKRate())
+	if res.Dropped > 0 {
+		fmt.Fprintf(os.Stderr, "parcload: %d requests got no response at all\n", res.Dropped)
+		os.Exit(1)
+	}
+}

@@ -164,9 +164,12 @@ type Pool struct {
 	// and a predictable branch, which the no-overhead guard test pins.
 	fi atomic.Pointer[faultinject.Injector]
 
-	// abandoned records tasks (queued or running) given up on by a timed
-	// ShutdownTimeout; it is zero on every clean shutdown.
-	abandoned atomic.Int64
+	// gaveUp is set by a ShutdownTimeout that expired before the pool
+	// drained. Stats then reports Abandoned as the live inflight count —
+	// tasks still queued or running that nothing will wait for — rather
+	// than a value captured at the timeout instant, which a Submit racing
+	// the shutdown could make stale (see the re-check in Submit).
+	gaveUp atomic.Bool
 }
 
 // parkSlot is one parking place: a buffered wake channel plus the worker
@@ -242,6 +245,17 @@ func (p *Pool) Submit(fn func()) {
 	// negative; it may transiently over-count (a stale positive only
 	// costs a spurious wakeup, never a missed one).
 	p.queued.Add(1)
+	// Re-check down after the counters: a concurrent ShutdownTimeout that
+	// set down and then read inflight either saw this increment (the task
+	// is counted in Abandoned) or set down before it — in which case this
+	// load observes down, the counters are rolled back, and the task is
+	// never enqueued. Without the re-check a racing submit could strand a
+	// task in the queue that no leftover count ever accounts for.
+	if p.down.Load() {
+		p.queued.Add(-1)
+		p.inflight.Add(-1)
+		panic("core: Submit on a Pool after Shutdown (task would never run)")
+	}
 	if p.latN.Add(1)&latencySampleMask == 0 {
 		inner := fn
 		start := time.Now()
@@ -527,8 +541,12 @@ func (p *Pool) ShutdownTimeout(d time.Duration) error {
 		p.wg.Wait()
 		return nil
 	}
+	p.gaveUp.Store(true)
+	// down is set before this load, and Submit re-checks down after its
+	// inflight increment, so every task that will ever be enqueued is
+	// visible here; a racing submit that rolls back can only make this
+	// instant's count high, never lose a task.
 	n := p.inflight.Load()
-	p.abandoned.Store(n)
 	return fmt.Errorf("%w: abandoned %d task(s) still queued or running after %v",
 		ErrShutdownTimeout, n, d)
 }
@@ -578,8 +596,12 @@ func (p *Pool) Stats() sched.Snapshot {
 		Queued:        p.queued.Load(),
 		Inflight:      p.inflight.Load(),
 		Executed:      p.executed.Load(),
-		Abandoned:     p.abandoned.Load(),
 		SubmitLatency: p.lat.Snapshot(),
+	}
+	if p.gaveUp.Load() {
+		// Live count, not a snapshot from the timeout instant: leftover
+		// tasks a wedged worker later finishes drop back out of it.
+		snap.Abandoned = p.inflight.Load()
 	}
 	for i, w := range p.workers {
 		snap.Workers[i] = sched.WorkerSnapshot{

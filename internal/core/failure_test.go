@@ -68,6 +68,62 @@ func TestShutdownTimeoutAbandonsStragglers(t *testing.T) {
 	close(release) // let the wedged goroutines drain
 }
 
+// TestShutdownTimeoutAbandonedCountRace audits the leftover-queue count
+// under Submits racing a timed-out shutdown. Every worker is wedged inside
+// a task so queued work can never execute; submitter goroutines hammer
+// Submit while ShutdownTimeout expires. The invariant: once the racing
+// submitters have settled (enqueued or panicked), Stats().Abandoned equals
+// wedged tasks + every Submit that returned without panicking — no task is
+// stranded in a queue without being counted, and nothing is counted twice.
+// Run under -race this also checks the counter accesses themselves.
+func TestShutdownTimeoutAbandonedCountRace(t *testing.T) {
+	const workers, submitters = 4, 8
+	for round := 0; round < 20; round++ {
+		p := NewPool(workers)
+		release := make(chan struct{})
+		var wedged sync.WaitGroup
+		wedged.Add(workers)
+		for i := 0; i < workers; i++ {
+			p.Submit(func() { wedged.Done(); <-release })
+		}
+		wedged.Wait()
+
+		var enqueued atomic.Int64
+		start := make(chan struct{})
+		var subs sync.WaitGroup
+		subs.Add(submitters)
+		for g := 0; g < submitters; g++ {
+			go func() {
+				defer subs.Done()
+				<-start
+				for i := 0; i < 50; i++ {
+					ok := func() (ok bool) {
+						defer func() { recover() }() // post-shutdown Submit panics
+						p.Submit(func() {})
+						return true
+					}()
+					if !ok {
+						return // pool is down; later submits also panic
+					}
+					enqueued.Add(1)
+				}
+			}()
+		}
+		close(start)
+		err := p.ShutdownTimeout(time.Duration(round%3) * time.Millisecond)
+		if !errors.Is(err, ErrShutdownTimeout) {
+			t.Fatalf("round %d: got %v, want ErrShutdownTimeout", round, err)
+		}
+		subs.Wait() // all racing submits have either enqueued or panicked
+		want := int64(workers) + enqueued.Load()
+		if got := p.Stats().Abandoned; got != want {
+			t.Fatalf("round %d: abandoned = %d, want %d (%d wedged + %d enqueued)",
+				round, got, want, workers, enqueued.Load())
+		}
+		close(release)
+	}
+}
+
 func TestShutdownIdempotentAfterShutdown(t *testing.T) {
 	p := NewPool(2)
 	var ran atomic.Int32

@@ -78,6 +78,30 @@ func MatMulParallel(nthreads int, a, b *Matrix) *Matrix {
 	return c
 }
 
+// MatMulParallelStats is MatMulParallel plus the Pyjama region's
+// observability snapshot — the serving layer runs the kernel through this
+// so /statz can report worksharing and barrier behaviour alongside the
+// scheduler's sched.Snapshot.
+func MatMulParallelStats(nthreads int, a, b *Matrix) (*Matrix, pyjama.RegionStats) {
+	if a.Cols != b.Rows {
+		panic("kernels: matmul dimension mismatch")
+	}
+	c := NewMatrix(a.Rows, b.Cols)
+	stats := pyjama.ParallelWithStats(nthreads, func(tc *pyjama.TC) {
+		tc.ForNoWait(a.Rows, pyjama.Static(0), func(i int) {
+			crow := c.Row(i)
+			for k := 0; k < a.Cols; k++ {
+				aik := a.At(i, k)
+				brow := b.Row(k)
+				for j := range crow {
+					crow[j] += aik * brow[j]
+				}
+			}
+		})
+	})
+	return c, stats
+}
+
 // MaxAbsDiff returns the largest element-wise absolute difference.
 func MaxAbsDiff(a, b *Matrix) float64 {
 	m := 0.0

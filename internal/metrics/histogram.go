@@ -87,6 +87,26 @@ func (s LatencySnapshot) Quantile(q float64) time.Duration {
 	return bucketHi(latencyBuckets - 1)
 }
 
+// Bucket is one non-empty histogram bucket in export form: Count
+// observations at or below Hi (and above the previous bucket's Hi).
+type Bucket struct {
+	Hi    time.Duration `json:"hi_ns"`
+	Count int64         `json:"count"`
+}
+
+// Buckets returns the non-empty buckets in ascending bound order — the
+// compact form the serving layer's /statz endpoint emits, instead of the
+// mostly-zero fixed-width Counts array.
+func (s LatencySnapshot) Buckets() []Bucket {
+	var out []Bucket
+	for i, c := range s.Counts {
+		if c != 0 {
+			out = append(out, Bucket{Hi: bucketHi(i), Count: c})
+		}
+	}
+	return out
+}
+
 // String renders the non-empty tail of the histogram as one line of
 // "≤bound:count" pairs plus headline quantiles.
 func (s LatencySnapshot) String() string {

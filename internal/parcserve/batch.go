@@ -1,0 +1,172 @@
+// Request batching: small jobs of the same kind are coalesced into one
+// multi-task instead of each paying its own admission slot and task
+// spawn. A batch flushes when it reaches MaxBatch items or when the
+// oldest item has waited MaxDelay — the classic size-or-timeout policy.
+// Under light load batching adds at most MaxDelay of latency to tiny
+// jobs; under heavy load batches fill instantly and the server admits
+// one slot per MaxBatch jobs, which is exactly when coalescing pays.
+package parcserve
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"parc751/internal/core"
+)
+
+// batcher coalesces IN items and completes each item's future with an
+// OUT. flush is invoked outside the batcher's lock with a full batch;
+// it must complete every future exactly once.
+type batcher[IN, OUT any] struct {
+	maxBatch int
+	maxDelay time.Duration
+	flush    func([]batchItem[IN, OUT])
+
+	mu      sync.Mutex
+	pending []batchItem[IN, OUT]
+	timer   *time.Timer
+	closed  bool
+	// inflight tracks dispatched-but-unfinished flushes; Add happens
+	// under mu (so close's Wait can never miss one) and flush runs
+	// synchronously on the triggering goroutine — the adder that filled
+	// the batch, the delay timer's goroutine, or close itself.
+	inflight sync.WaitGroup
+
+	// Stats, exported through /statz.
+	batches  atomic.Int64 // flushes issued
+	items    atomic.Int64 // items accepted
+	maxSeen  atomic.Int64 // largest batch flushed
+	byTimer  atomic.Int64 // flushes forced by the delay bound
+	rejected atomic.Int64 // items refused because the batcher was closed
+}
+
+type batchItem[IN, OUT any] struct {
+	in  IN
+	fut *core.Future[OUT]
+}
+
+func newBatcher[IN, OUT any](maxBatch int, maxDelay time.Duration, flush func([]batchItem[IN, OUT])) *batcher[IN, OUT] {
+	if maxBatch < 1 {
+		maxBatch = 1
+	}
+	return &batcher[IN, OUT]{maxBatch: maxBatch, maxDelay: maxDelay, flush: flush}
+}
+
+// add queues in for the next flush and returns the future its result
+// will arrive on. ok is false when the batcher has been closed (server
+// draining): the caller must fail the job itself.
+func (b *batcher[IN, OUT]) add(in IN) (*core.Future[OUT], bool) {
+	fut := core.NewFuture[OUT]()
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		b.rejected.Add(1)
+		return nil, false
+	}
+	b.items.Add(1)
+	b.pending = append(b.pending, batchItem[IN, OUT]{in: in, fut: fut})
+	if len(b.pending) >= b.maxBatch {
+		batch := b.takeLocked()
+		b.mu.Unlock()
+		b.dispatch(batch, false)
+		return fut, true
+	}
+	if b.timer == nil && b.maxDelay > 0 {
+		b.timer = time.AfterFunc(b.maxDelay, b.flushTimer)
+	}
+	b.mu.Unlock()
+	if b.maxDelay <= 0 {
+		// No delay budget: every add flushes whatever is pending.
+		b.flushNow()
+	}
+	return fut, true
+}
+
+// takeLocked detaches the pending batch, disarms the timer, and (for a
+// non-empty batch) registers the flush in inflight. Callers hold b.mu
+// and must pass the result to dispatch.
+func (b *batcher[IN, OUT]) takeLocked() []batchItem[IN, OUT] {
+	batch := b.pending
+	b.pending = nil
+	if b.timer != nil {
+		b.timer.Stop()
+		b.timer = nil
+	}
+	if len(batch) > 0 {
+		b.inflight.Add(1)
+	}
+	return batch
+}
+
+func (b *batcher[IN, OUT]) flushTimer() {
+	b.mu.Lock()
+	batch := b.takeLocked()
+	b.mu.Unlock()
+	b.dispatch(batch, true)
+}
+
+// flushNow synchronously flushes whatever is pending (used on drain and
+// when no delay budget is configured).
+func (b *batcher[IN, OUT]) flushNow() {
+	b.mu.Lock()
+	batch := b.takeLocked()
+	b.mu.Unlock()
+	b.dispatch(batch, false)
+}
+
+func (b *batcher[IN, OUT]) dispatch(batch []batchItem[IN, OUT], timed bool) {
+	if len(batch) == 0 {
+		return
+	}
+	defer b.inflight.Done()
+	b.batches.Add(1)
+	if timed {
+		b.byTimer.Add(1)
+	}
+	for {
+		seen := b.maxSeen.Load()
+		if int64(len(batch)) <= seen || b.maxSeen.CompareAndSwap(seen, int64(len(batch))) {
+			break
+		}
+	}
+	b.flush(batch)
+}
+
+// close flushes the pending tail, refuses further adds, and waits for
+// every in-flight flush — the drain path: every accepted item has its
+// future settled by the time close returns. Any concurrent timer flush
+// registered itself in inflight under b.mu before close took the lock,
+// so the Wait cannot miss it.
+func (b *batcher[IN, OUT]) close() {
+	b.mu.Lock()
+	b.closed = true
+	batch := b.takeLocked()
+	b.mu.Unlock()
+	b.dispatch(batch, false)
+	b.inflight.Wait()
+}
+
+// BatchStats is one batcher's /statz export.
+type BatchStats struct {
+	Batches      int64   `json:"batches"`
+	Items        int64   `json:"items"`
+	MaxBatch     int64   `json:"max_batch"`
+	TimerFlushes int64   `json:"timer_flushes"`
+	Rejected     int64   `json:"rejected"`
+	MeanSize     float64 `json:"mean_size"`
+}
+
+func (b *batcher[IN, OUT]) stats() BatchStats {
+	s := BatchStats{
+		Batches:      b.batches.Load(),
+		Items:        b.items.Load(),
+		MaxBatch:     b.maxSeen.Load(),
+		TimerFlushes: b.byTimer.Load(),
+		Rejected:     b.rejected.Load(),
+	}
+	if s.Batches > 0 {
+		s.MeanSize = float64(s.Items) / float64(s.Batches)
+	}
+	return s
+}

@@ -1,0 +1,187 @@
+package parcserve
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"parc751/internal/core"
+)
+
+// collectFlush is a flush func that records batches and completes every
+// future with its input value.
+type collectFlush struct {
+	mu      sync.Mutex
+	batches [][]int
+}
+
+func (c *collectFlush) flush(items []batchItem[int, int]) {
+	ins := make([]int, len(items))
+	for i, it := range items {
+		ins[i] = it.in
+	}
+	c.mu.Lock()
+	c.batches = append(c.batches, ins)
+	c.mu.Unlock()
+	for _, it := range items {
+		it.fut.Complete(it.in, nil)
+	}
+}
+
+// TestServeBatcherFlushBySize: the size bound flushes a full batch
+// immediately, without waiting out the delay.
+func TestServeBatcherFlushBySize(t *testing.T) {
+	var c collectFlush
+	b := newBatcher(4, time.Hour, c.flush) // delay effectively infinite
+	futs := make([]*core.Future[int], 4)
+	for i := range futs {
+		fut, ok := b.add(i)
+		if !ok {
+			t.Fatalf("add %d refused", i)
+		}
+		futs[i] = fut
+	}
+	for i, fut := range futs {
+		select {
+		case <-fut.Done():
+		case <-time.After(2 * time.Second):
+			t.Fatalf("future %d not completed — size flush did not fire", i)
+		}
+		if v, err := fut.Get(); err != nil || v != i {
+			t.Fatalf("future %d: (%v, %v)", i, v, err)
+		}
+	}
+	st := b.stats()
+	if st.Batches != 1 || st.Items != 4 || st.MaxBatch != 4 || st.TimerFlushes != 0 {
+		t.Fatalf("stats = %+v, want one untimed batch of 4", st)
+	}
+}
+
+// TestServeBatcherFlushByTimer: a partial batch flushes when the delay
+// bound expires.
+func TestServeBatcherFlushByTimer(t *testing.T) {
+	var c collectFlush
+	b := newBatcher(100, 5*time.Millisecond, c.flush)
+	fut, ok := b.add(7)
+	if !ok {
+		t.Fatal("add refused")
+	}
+	select {
+	case <-fut.Done():
+	case <-time.After(2 * time.Second):
+		t.Fatal("timer flush never fired")
+	}
+	st := b.stats()
+	if st.Batches != 1 || st.TimerFlushes != 1 {
+		t.Fatalf("stats = %+v, want one timer flush", st)
+	}
+}
+
+// TestServeBatcherClose: close settles the pending tail, refuses further
+// adds, and returns only after every in-flight flush has completed.
+func TestServeBatcherClose(t *testing.T) {
+	var c collectFlush
+	b := newBatcher(100, time.Hour, c.flush)
+	fut, ok := b.add(1)
+	if !ok {
+		t.Fatal("add refused before close")
+	}
+	b.close()
+	select {
+	case <-fut.Done():
+	case <-time.After(time.Second):
+		t.Fatal("close did not settle the pending tail")
+	}
+	if _, ok := b.add(2); ok {
+		t.Fatal("add accepted after close")
+	}
+	if st := b.stats(); st.Rejected != 1 {
+		t.Fatalf("rejected = %d, want 1", st.Rejected)
+	}
+	b.close() // idempotent
+}
+
+// TestServeBatcherConcurrent hammers add from many goroutines and checks
+// the conservation law: every accepted item appears in exactly one
+// flushed batch and every future settles.
+func TestServeBatcherConcurrent(t *testing.T) {
+	var c collectFlush
+	b := newBatcher(8, 500*time.Microsecond, c.flush)
+	const adders, perAdder = 8, 50
+	var wg sync.WaitGroup
+	var accepted sync.Map
+	for g := 0; g < adders; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perAdder; i++ {
+				id := g*perAdder + i
+				fut, ok := b.add(id)
+				if !ok {
+					t.Errorf("add %d refused while open", id)
+					return
+				}
+				accepted.Store(id, fut)
+			}
+		}(g)
+	}
+	wg.Wait()
+	b.close()
+
+	seen := map[int]int{}
+	c.mu.Lock()
+	for _, batch := range c.batches {
+		if len(batch) > 8 {
+			t.Errorf("batch of %d exceeds maxBatch 8", len(batch))
+		}
+		for _, id := range batch {
+			seen[id]++
+		}
+	}
+	c.mu.Unlock()
+	total := 0
+	accepted.Range(func(k, v any) bool {
+		total++
+		id := k.(int)
+		if seen[id] != 1 {
+			t.Errorf("item %d flushed %d times, want exactly once", id, seen[id])
+		}
+		fut := v.(*core.Future[int])
+		select {
+		case <-fut.Done():
+		default:
+			t.Errorf("item %d future never settled", id)
+		}
+		return true
+	})
+	if total != adders*perAdder {
+		t.Fatalf("accepted %d items, want %d", total, adders*perAdder)
+	}
+	if st := b.stats(); st.Items != adders*perAdder {
+		t.Fatalf("stats items = %d, want %d", st.Items, adders*perAdder)
+	}
+}
+
+// TestServeBatcherFlushError: a flush that fails items propagates the
+// error through each future (the saturated-batch path in the server).
+func TestServeBatcherFlushError(t *testing.T) {
+	wantErr := errors.New("boom")
+	b := newBatcher[int, int](2, time.Hour, func(items []batchItem[int, int]) {
+		for _, it := range items {
+			it.fut.Complete(0, wantErr)
+		}
+	})
+	f1, _ := b.add(1)
+	f2, _ := b.add(2)
+	for i, fut := range []*core.Future[int]{f1, f2} {
+		select {
+		case <-fut.Done():
+		case <-time.After(time.Second):
+			t.Fatalf("future %d never settled", i)
+		}
+		if _, err := fut.Get(); !errors.Is(err, wantErr) {
+			t.Fatalf("future %d error = %v, want %v", i, err, wantErr)
+		}
+	}
+}

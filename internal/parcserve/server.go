@@ -1,0 +1,490 @@
+// Package parcserve is the job-serving front end over the parallel
+// runtime: an HTTP service that executes the paper's student workloads
+// (quicksort, text/PDF search, thumbnails, kernels, web access) on the
+// shared ptask/pyjama substrate. It is the layer that turns the
+// reproduction into a servable system — and the realistic load generator
+// every performance PR can be measured against (loadtest/, ablation A9).
+//
+// The serving disciplines, in one place (DESIGN.md §11):
+//
+//   - admission control: at most MaxConcurrent jobs execute at once and
+//     at most MaxQueue wait; beyond that the server answers 429 with a
+//     Retry-After estimate instead of queueing unboundedly;
+//   - batching: small jobs of the same kind coalesce into one multi-task
+//     (size-or-timeout flush, batch.go), so a storm of tiny requests
+//     costs one admission slot per batch;
+//   - deadlines: every job's lifetime — admission wait, queue time,
+//     execution — is bounded by ptask.WithDeadline; an expired job that
+//     never started is never executed (answer: 504);
+//   - graceful drain: Drain stops intake (503), flushes batch tails,
+//     waits for in-flight jobs, then stops the pool via ShutdownTimeout;
+//   - observability: /statz exports the scheduler snapshot, Pyjama
+//     region stats, circuit-breaker state, admission counters, and
+//     per-endpoint latency histograms.
+package parcserve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"parc751/internal/metrics"
+	"parc751/internal/ptask"
+	"parc751/internal/pyjama"
+	"parc751/internal/webfetch"
+)
+
+// Config sizes the server. Zero values take the documented defaults.
+type Config struct {
+	// Workers is the ptask pool size (default GOMAXPROCS).
+	Workers int
+	// PyjamaThreads sizes kernel-job teams (default Workers).
+	PyjamaThreads int
+	// MaxConcurrent bounds jobs executing at once (default 2×Workers).
+	MaxConcurrent int
+	// MaxQueue bounds jobs waiting for a slot; beyond it requests are
+	// rejected with 429 (default 4×MaxConcurrent).
+	MaxQueue int
+	// DefaultDeadline applies when a request names none; MaxDeadline
+	// caps what a request may ask for (defaults 10s / 60s).
+	DefaultDeadline time.Duration
+	MaxDeadline     time.Duration
+	// BatchMax and BatchDelay tune small-job coalescing: a batch flushes
+	// at BatchMax items or after BatchDelay, whichever first (defaults
+	// 16 / 2ms). BatchMax 1 disables coalescing in effect.
+	BatchMax   int
+	BatchDelay time.Duration
+	// FetchConns bounds concurrent webfetch connections (default 8);
+	// BreakerThreshold/BreakerCooldown configure its circuit breaker
+	// (defaults 5 / 10s).
+	FetchConns       int
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+	// Client issues webfetch requests (default http.DefaultClient).
+	Client *http.Client
+}
+
+// DefaultConfig returns the production defaults.
+func DefaultConfig() Config { return Config{} }
+
+func (c *Config) fill() {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.PyjamaThreads <= 0 {
+		c.PyjamaThreads = c.Workers
+	}
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = 2 * c.Workers
+	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = 4 * c.MaxConcurrent
+	}
+	if c.DefaultDeadline <= 0 {
+		c.DefaultDeadline = 10 * time.Second
+	}
+	if c.MaxDeadline <= 0 {
+		c.MaxDeadline = time.Minute
+	}
+	if c.BatchMax <= 0 {
+		c.BatchMax = 16
+	}
+	if c.BatchDelay <= 0 {
+		c.BatchDelay = 2 * time.Millisecond
+	}
+	if c.FetchConns <= 0 {
+		c.FetchConns = 8
+	}
+	if c.BreakerThreshold <= 0 {
+		c.BreakerThreshold = 5
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 10 * time.Second
+	}
+}
+
+// endpointStats is one kind's serving record: request count, status-code
+// tallies, and the end-to-end latency histogram (admission wait included
+// — that is the latency a client sees).
+type endpointStats struct {
+	count atomic.Int64
+	lat   metrics.LatencyHistogram
+	codes [len(trackedCodes)]atomic.Int64
+}
+
+// trackedCodes is the fixed status vocabulary of the server.
+var trackedCodes = [...]int{
+	http.StatusOK, http.StatusBadRequest, http.StatusRequestEntityTooLarge,
+	http.StatusTooManyRequests, http.StatusInternalServerError,
+	http.StatusServiceUnavailable, http.StatusGatewayTimeout,
+}
+
+func codeSlot(code int) int {
+	for i, c := range trackedCodes {
+		if c == code {
+			return i
+		}
+	}
+	return len(trackedCodes) - 1 // fold unknowns into the last slot
+}
+
+func (e *endpointStats) record(code int, d time.Duration) {
+	e.count.Add(1)
+	e.codes[codeSlot(code)].Add(1)
+	e.lat.Observe(d)
+}
+
+// sortIn is one coalesced small-sort job.
+type sortIn struct {
+	seed uint64
+	n    int
+}
+
+// Server is the job-serving front end. Create with NewServer; it
+// implements http.Handler. A Server must be Drained when done — it owns
+// a live worker pool.
+type Server struct {
+	cfg     Config
+	rt      *ptask.Runtime
+	fetcher *webfetch.Fetcher
+	breaker *webfetch.Breaker
+	mux     *http.ServeMux
+	started time.Time
+
+	// Admission: slots is the execution semaphore, waiting the bounded
+	// queue occupancy. rejected counts 429s.
+	slots    chan struct{}
+	waiting  atomic.Int64
+	admitted atomic.Int64
+	rejected atomic.Int64
+
+	// Drain: draining flips once under drainMu, which handlers read-lock
+	// around the check-then-register step so a handler can never slip
+	// past jobs.Wait (the classic Add-racing-Wait hazard).
+	drainMu  sync.RWMutex
+	draining atomic.Bool
+	jobs     sync.WaitGroup
+
+	sortBatch *batcher[sortIn, *JobResult]
+
+	eps map[Kind]*endpointStats
+
+	regionMu   sync.Mutex
+	lastRegion *pyjama.RegionStats
+}
+
+// NewServer starts the runtime and wires the HTTP surface.
+func NewServer(cfg Config) *Server {
+	cfg.fill()
+	s := &Server{
+		cfg:     cfg,
+		rt:      ptask.NewRuntime(cfg.Workers),
+		breaker: webfetch.NewBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown),
+		mux:     http.NewServeMux(),
+		started: time.Now(),
+		slots:   make(chan struct{}, cfg.MaxConcurrent),
+		eps:     map[Kind]*endpointStats{},
+	}
+	s.fetcher = webfetch.NewFetcher(s.rt, cfg.Client, cfg.FetchConns)
+	s.fetcher.SetBreaker(s.breaker)
+	for _, k := range Kinds() {
+		s.eps[k] = &endpointStats{}
+	}
+	s.sortBatch = newBatcher(cfg.BatchMax, cfg.BatchDelay, s.flushSortBatch)
+	s.mux.HandleFunc("POST /jobs/{kind}", s.handleJob)
+	s.mux.HandleFunc("GET /statz", s.handleStatz)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return s
+}
+
+// Runtime exposes the underlying ptask runtime (tests and experiments).
+func (s *Server) Runtime() *ptask.Runtime { return s.rt }
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// retryAfter estimates how long a rejected client should back off: the
+// full queue's worth of work spread over the execution slots, floored at
+// one second — deliberately coarse, it only needs the right magnitude.
+func (s *Server) retryAfter() int {
+	backlog := int(s.waiting.Load()) + s.cfg.MaxConcurrent
+	secs := backlog / s.cfg.MaxConcurrent
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
+}
+
+// acquire claims an execution slot, waiting in the bounded admission
+// queue. It returns a release func on success, or the HTTP status to
+// answer with (429 queue full, 504 deadline expired while waiting).
+func (s *Server) acquire(done <-chan struct{}) (func(), int) {
+	if s.waiting.Add(1) > int64(s.cfg.MaxQueue) {
+		s.waiting.Add(-1)
+		s.rejected.Add(1)
+		return nil, http.StatusTooManyRequests
+	}
+	select {
+	case s.slots <- struct{}{}:
+		s.waiting.Add(-1)
+		s.admitted.Add(1)
+		return func() { <-s.slots }, 0
+	case <-done:
+		s.waiting.Add(-1)
+		return nil, http.StatusGatewayTimeout
+	}
+}
+
+// deadlineFor resolves a request's deadline against the configured
+// default and cap.
+func (s *Server) deadlineFor(req *JobRequest) time.Duration {
+	d := time.Duration(req.DeadlineMs) * time.Millisecond
+	if d <= 0 {
+		d = s.cfg.DefaultDeadline
+	}
+	if d > s.cfg.MaxDeadline {
+		d = s.cfg.MaxDeadline
+	}
+	return d
+}
+
+// handleJob serves POST /jobs/{kind}.
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	kind := Kind(r.PathValue("kind"))
+	ep, known := s.eps[kind]
+	if !known {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("unknown kind %q", kind))
+		return
+	}
+	start := time.Now()
+	code := http.StatusInternalServerError
+	defer func() { ep.record(code, time.Since(start)) }()
+
+	s.drainMu.RLock()
+	if s.draining.Load() {
+		s.drainMu.RUnlock()
+		w.Header().Set("Connection", "close")
+		code = http.StatusServiceUnavailable
+		writeError(w, code, "draining")
+		return
+	}
+	s.jobs.Add(1)
+	s.drainMu.RUnlock()
+	defer s.jobs.Done()
+
+	var req JobRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err := dec.Decode(&req); err != nil && !errors.Is(err, io.EOF) {
+		code = http.StatusBadRequest
+		writeError(w, code, "bad JSON: "+err.Error())
+		return
+	}
+	deadline := s.deadlineFor(&req)
+
+	var res *JobResult
+	var err error
+	if kind == KindSort && req.N > 0 && req.N <= smallSortMax {
+		res, err, code = s.runBatchedSort(r, &req, deadline)
+	} else {
+		res, err, code = s.runSingle(r, start, kind, &req, deadline)
+	}
+	if err != nil {
+		if code == http.StatusTooManyRequests {
+			w.Header().Set("Retry-After", strconv.Itoa(s.retryAfter()))
+		}
+		writeError(w, code, err.Error())
+		return
+	}
+	res.ElapsedMs = float64(time.Since(start)) / float64(time.Millisecond)
+	code = http.StatusOK
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(res)
+}
+
+// runSingle admits and executes one job as its own context-aware task.
+// The deadline budget runs from request arrival: admission wait, pool
+// queue time, and execution all draw on it.
+func (s *Server) runSingle(r *http.Request, start time.Time, kind Kind, req *JobRequest, deadline time.Duration) (*JobResult, error, int) {
+	admitCtx, cancel := deadlineChan(deadline)
+	defer cancel()
+	release, status := s.acquire(admitCtx)
+	if status != 0 {
+		if status == http.StatusTooManyRequests {
+			return nil, errSaturated, status
+		}
+		return nil, fmt.Errorf("deadline expired after %v waiting for a slot", deadline), status
+	}
+	defer release()
+	remaining := deadline - time.Since(start)
+	if remaining <= 0 {
+		return nil, fmt.Errorf("deadline expired after %v waiting for a slot", deadline), http.StatusGatewayTimeout
+	}
+	// The remaining budget covers pool queue time + execution: a job that
+	// expires while still queued is never executed and settles with
+	// ErrDeadline (the §10 conformance row).
+	t := ptask.RunCtx(s.rt, r.Context(), func(ctx context.Context) (*JobResult, error) {
+		return s.execute(ctx, kind, req)
+	}, ptask.WithDeadline(remaining))
+	res, err := t.Result()
+	if err != nil {
+		return nil, err, statusFor(err)
+	}
+	return res, nil, http.StatusOK
+}
+
+// runBatchedSort routes a small sort through the coalescing batcher and
+// waits for its element's result under the job deadline.
+func (s *Server) runBatchedSort(r *http.Request, req *JobRequest, deadline time.Duration) (*JobResult, error, int) {
+	seed := req.Seed
+	if seed == 0 {
+		seed = defaultSeed
+	}
+	fut, ok := s.sortBatch.add(sortIn{seed: seed, n: req.N})
+	if !ok {
+		return nil, errors.New("draining"), http.StatusServiceUnavailable
+	}
+	timer := time.NewTimer(deadline)
+	defer timer.Stop()
+	select {
+	case <-fut.Done():
+		res, err := fut.Get()
+		if err != nil {
+			return nil, err, statusFor(err)
+		}
+		return res, nil, http.StatusOK
+	case <-timer.C:
+		// The batch may still complete; this caller stops waiting.
+		return nil, fmt.Errorf("deadline expired after %v waiting for batch", deadline), http.StatusGatewayTimeout
+	case <-r.Context().Done():
+		return nil, r.Context().Err(), http.StatusGatewayTimeout
+	}
+}
+
+// flushSortBatch executes one coalesced batch: one admission slot, one
+// multi-task, one sub-task per element. It runs synchronously on the
+// goroutine that triggered the flush (the adder that filled the batch,
+// the delay timer, or close), which is what lets the batcher's close
+// guarantee every accepted item is settled before drain proceeds.
+func (s *Server) flushSortBatch(items []batchItem[sortIn, *JobResult]) {
+	admitCtx, cancel := deadlineChan(s.cfg.MaxDeadline)
+	defer cancel()
+	release, status := s.acquire(admitCtx)
+	if status != 0 {
+		err := error(errSaturated)
+		if status != http.StatusTooManyRequests {
+			err = fmt.Errorf("parcserve: batch not admitted within %v: %w",
+				s.cfg.MaxDeadline, ptask.ErrDeadline)
+		}
+		for _, it := range items {
+			it.fut.Complete(nil, err)
+		}
+		return
+	}
+	defer release()
+	multi := ptask.RunMulti(s.rt, len(items), func(i int) (*JobResult, error) {
+		return s.sortElement(items[i].in, len(items))
+	})
+	for i, tk := range multi.Tasks() {
+		v, err := tk.Result()
+		items[i].fut.Complete(v, err)
+	}
+}
+
+// errSaturated is the admission controller's rejection: the execution
+// slots are full and the wait queue is at its bound.
+var errSaturated = errors.New("parcserve: admission queue full")
+
+// statusFor maps an execution error to the HTTP vocabulary.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, errBadRequest):
+		return http.StatusBadRequest
+	case errors.Is(err, errSaturated):
+		return http.StatusTooManyRequests
+	case errors.Is(err, ptask.ErrDeadline), errors.Is(err, context.DeadlineExceeded):
+		// Which settle wins is racy when a running body returns ctx.Err()
+		// itself while the deadline watcher cancels the task; both spell
+		// "the job's time budget ran out".
+		return http.StatusGatewayTimeout
+	case errors.Is(err, ptask.ErrCancelled), errors.Is(err, context.Canceled):
+		return http.StatusGatewayTimeout
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// recordRegion keeps the most recent Pyjama region snapshot for /statz.
+func (s *Server) recordRegion(st pyjama.RegionStats) {
+	s.regionMu.Lock()
+	s.lastRegion = &st
+	s.regionMu.Unlock()
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintln(w, "ok")
+}
+
+// Drain gracefully stops the server: new jobs are refused with 503,
+// pending batch tails are flushed, in-flight jobs run to completion, and
+// the worker pool is stopped. The budget d bounds the whole sequence;
+// on a clean drain the pool is left with no queued or running task and
+// the error is nil. Drain is idempotent.
+func (s *Server) Drain(d time.Duration) error {
+	s.drainMu.Lock()
+	already := !s.draining.CompareAndSwap(false, true)
+	s.drainMu.Unlock()
+	if already {
+		return nil
+	}
+	deadline := time.Now().Add(d)
+	// Order matters: the batcher settles every accepted small job before
+	// jobs.Wait (their handlers are waiting on those futures), and the
+	// pool stops only after no handler can submit another task.
+	s.sortBatch.close()
+	done := make(chan struct{})
+	go func() {
+		s.jobs.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(time.Until(deadline)):
+	}
+	rem := time.Until(deadline)
+	if rem < time.Millisecond {
+		rem = time.Millisecond
+	}
+	return s.rt.ShutdownTimeout(rem)
+}
+
+// Draining reports whether Drain has begun.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// writeError emits the uniform JSON error shape.
+func writeError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(map[string]any{"error": msg, "status": code})
+}
+
+// deadlineChan returns a channel closed after d plus its cancel func —
+// a context-free deadline for the admission wait.
+func deadlineChan(d time.Duration) (<-chan struct{}, func()) {
+	ch := make(chan struct{})
+	t := time.AfterFunc(d, func() { close(ch) })
+	var once sync.Once
+	return ch, func() { once.Do(func() { t.Stop() }) }
+}

@@ -1,0 +1,564 @@
+// Conformance suite for the failure-semantics table in DESIGN.md §10.
+// Every table cell — event × construct (Task / MultiTask policy / Pyjama
+// region) — has a test here asserting exactly what the table promises:
+// which futures settle, with which error identities, and whether the
+// body ran at all. The suite is an external test package so the Pyjama
+// region rows can be exercised alongside the ptask ones.
+//
+// All tests are named TestConformance* so the CI serve-smoke step
+// (`go test -race -run 'TestServe|TestConformance'`) runs the whole
+// table on every change.
+package ptask_test
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"parc751/internal/core"
+	"parc751/internal/ptask"
+	"parc751/internal/pyjama"
+)
+
+func newRT(t *testing.T, workers int) *ptask.Runtime {
+	t.Helper()
+	rt := ptask.NewRuntime(workers)
+	t.Cleanup(rt.Shutdown)
+	return rt
+}
+
+// wedge occupies every worker with a blocked task so that subsequent
+// submissions stay queued until release is called. The §10 rows about
+// "queued" state (cancel and deadline skip execution) need tasks that
+// verifiably never left the queue.
+func wedge(t *testing.T, rt *ptask.Runtime) (release func()) {
+	t.Helper()
+	gate := make(chan struct{})
+	var started sync.WaitGroup
+	started.Add(rt.Workers())
+	for i := 0; i < rt.Workers(); i++ {
+		ptask.Run(rt, func() (struct{}, error) {
+			started.Done()
+			<-gate
+			return struct{}{}, nil
+		})
+	}
+	started.Wait()
+	var once sync.Once
+	return func() { once.Do(func() { close(gate) }) }
+}
+
+// awaitDone fails the test if ch does not close within a generous bound.
+func awaitDone(t *testing.T, ch <-chan struct{}, what string) {
+	t.Helper()
+	select {
+	case <-ch:
+	case <-time.After(5 * time.Second):
+		t.Fatalf("%s never settled", what)
+	}
+}
+
+// --- Row: body returns error ---
+
+// TestConformanceBodyError: a Task's future settles with exactly the
+// body's error.
+func TestConformanceBodyError(t *testing.T) {
+	rt := newRT(t, 2)
+	boom := errors.New("boom")
+	_, err := ptask.Run(rt, func() (int, error) { return 0, boom }).Result()
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+}
+
+// TestConformanceBodyErrorMultiFirstError: every sub-task runs to
+// settlement and the aggregate error is the first in element order, not
+// completion order.
+func TestConformanceBodyErrorMultiFirstError(t *testing.T) {
+	rt := newRT(t, 4)
+	errB, errC := errors.New("errB"), errors.New("errC")
+	var ran atomic.Int64
+	m := ptask.RunMultiPolicy(rt, 3, ptask.MultiFirstError, func(i int) (int, error) {
+		ran.Add(1)
+		switch i {
+		case 1:
+			return 0, errB
+		case 2:
+			return 0, errC // may settle before errB; element order must still win
+		}
+		return i, nil
+	})
+	_, err := m.Results()
+	if !errors.Is(err, errB) {
+		t.Fatalf("aggregate err = %v, want element-order first %v", err, errB)
+	}
+	if errors.Is(err, errC) {
+		t.Fatalf("aggregate err %v includes later element's error", err)
+	}
+	if ran.Load() != 3 {
+		t.Fatalf("%d sub-tasks ran, want all 3 under MultiFirstError", ran.Load())
+	}
+}
+
+// TestConformanceBodyErrorMultiFailFast: the first failure cancels every
+// not-yet-started sibling and the aggregate error is the root cause, not
+// the ErrCancelled cascade.
+func TestConformanceBodyErrorMultiFailFast(t *testing.T) {
+	rt := newRT(t, 2)
+	root := errors.New("root failure")
+	gate := make(chan struct{})
+	var ran [4]atomic.Bool
+	m := ptask.RunMultiPolicy(rt, 4, ptask.MultiFailFast, func(i int) (int, error) {
+		ran[i].Store(true)
+		if i == 0 {
+			return 0, root
+		}
+		<-gate
+		return i, nil
+	})
+	// Poll until the fail-fast fanout lands on the queued tail. With two
+	// workers, tasks 0 and 1 start (global FIFO order) and 2, 3 are still
+	// queued when 0 fails.
+	deadline := time.Now().Add(5 * time.Second)
+	for !m.Tasks()[3].Cancelled() {
+		if time.Now().After(deadline) {
+			t.Fatal("fail-fast never cancelled the queued sibling")
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	close(gate)
+	_, err := m.Results()
+	if !errors.Is(err, root) {
+		t.Fatalf("aggregate err = %v, want root cause %v", err, root)
+	}
+	if errors.Is(err, ptask.ErrCancelled) {
+		t.Fatalf("aggregate err %v surfaces the cancellation cascade, want the root cause", err)
+	}
+	if ran[3].Load() {
+		t.Fatal("cancelled sibling's body ran")
+	}
+}
+
+// TestConformanceBodyErrorMultiCollectAll: everything runs and the
+// aggregate joins every sub-task error.
+func TestConformanceBodyErrorMultiCollectAll(t *testing.T) {
+	rt := newRT(t, 4)
+	errA, errC := errors.New("errA"), errors.New("errC")
+	var ran atomic.Int64
+	m := ptask.RunMultiPolicy(rt, 3, ptask.MultiCollectAll, func(i int) (int, error) {
+		ran.Add(1)
+		switch i {
+		case 0:
+			return 0, errA
+		case 2:
+			return 0, errC
+		}
+		return i, nil
+	})
+	_, err := m.Results()
+	if !errors.Is(err, errA) || !errors.Is(err, errC) {
+		t.Fatalf("aggregate err = %v, want both %v and %v joined", err, errA, errC)
+	}
+	if ran.Load() != 3 {
+		t.Fatalf("%d sub-tasks ran, want all 3 under MultiCollectAll", ran.Load())
+	}
+}
+
+// --- Row: body panics ---
+
+// TestConformancePanicTask: a panicking body settles the future with
+// *core.PanicError, Unwrap reaches the panic value when it is an error,
+// and the worker survives to run more tasks.
+func TestConformancePanicTask(t *testing.T) {
+	rt := newRT(t, 2)
+	sentinel := errors.New("panic sentinel")
+	_, err := ptask.Run(rt, func() (int, error) { panic(sentinel) }).Result()
+	var pe *core.PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %T %v, want *core.PanicError", err, err)
+	}
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err %v does not unwrap to the panic value", err)
+	}
+	// The worker that recovered the panic is still alive and scheduling.
+	for i := 0; i < 10; i++ {
+		if v, err := ptask.Run(rt, func() (int, error) { return 7, nil }).Result(); err != nil || v != 7 {
+			t.Fatalf("post-panic task %d: (%v, %v)", i, v, err)
+		}
+	}
+}
+
+// TestConformancePanicMulti: a panicking sub-task counts as a failed
+// sub-task and surfaces through the aggregate as *core.PanicError.
+func TestConformancePanicMulti(t *testing.T) {
+	rt := newRT(t, 4)
+	m := ptask.RunMulti(rt, 3, func(i int) (int, error) {
+		if i == 1 {
+			panic("sub-task 1 blew up")
+		}
+		return i, nil
+	})
+	_, err := m.Results()
+	var pe *core.PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("aggregate err = %T %v, want *core.PanicError", err, err)
+	}
+}
+
+// TestConformancePanicRegion: a Pyjama team member's panic propagates to
+// the Parallel caller after the team quiesces — siblings blocked at the
+// barrier are released by the abort cascade instead of deadlocking, and
+// the re-raised value is the member's own panic, not the cascade.
+func TestConformancePanicRegion(t *testing.T) {
+	sentinel := errors.New("member 2 died")
+	done := make(chan any, 1)
+	go func() {
+		defer func() { done <- recover() }()
+		pyjama.Parallel(4, func(tc *pyjama.TC) {
+			if tc.ThreadNum() == 2 {
+				panic(sentinel)
+			}
+			tc.Barrier() // would deadlock without the abort cascade
+		})
+		done <- nil
+	}()
+	var r any
+	select {
+	case r = <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("region deadlocked after member panic")
+	}
+	err, ok := r.(error)
+	if !ok {
+		t.Fatalf("recovered %T %v, want an error", r, r)
+	}
+	var pe *core.PanicError
+	if !errors.As(err, &pe) || !errors.Is(err, sentinel) {
+		t.Fatalf("recovered %v, want *core.PanicError unwrapping to the member's panic", err)
+	}
+}
+
+// --- Row: Cancel / parent ctx cancelled ---
+
+// TestConformanceCancelQueued: cancelling a queued task means its body
+// is never executed and the future settles with ErrCancelled.
+func TestConformanceCancelQueued(t *testing.T) {
+	rt := newRT(t, 2)
+	release := wedge(t, rt)
+	defer release()
+	var ran atomic.Bool
+	tk := ptask.Run(rt, func() (int, error) { ran.Store(true); return 1, nil })
+	if !tk.Cancel() {
+		t.Fatal("Cancel on a queued task returned false")
+	}
+	_, err := tk.Result()
+	if !errors.Is(err, ptask.ErrCancelled) {
+		t.Fatalf("err = %v, want ErrCancelled", err)
+	}
+	release()
+	rtQuiesce(t, rt)
+	if ran.Load() {
+		t.Fatal("cancelled queued task's body ran")
+	}
+}
+
+// TestConformanceCancelRunning: a running body is not interrupted —
+// Cancel reports false and the task settles with the body's own result.
+func TestConformanceCancelRunning(t *testing.T) {
+	rt := newRT(t, 2)
+	started := make(chan struct{})
+	unblock := make(chan struct{})
+	tk := ptask.Run(rt, func() (int, error) { close(started); <-unblock; return 42, nil })
+	<-started
+	if tk.Cancel() {
+		t.Fatal("Cancel claimed to cancel a running task")
+	}
+	close(unblock)
+	v, err := tk.Result()
+	if err != nil || v != 42 {
+		t.Fatalf("result = (%v, %v), want (42, nil): running bodies run to completion", v, err)
+	}
+}
+
+// TestConformanceCancelMultiFanout: MultiTask.Cancel reaches every
+// unstarted sub-task.
+func TestConformanceCancelMultiFanout(t *testing.T) {
+	rt := newRT(t, 2)
+	release := wedge(t, rt)
+	defer release()
+	var ran atomic.Int64
+	m := ptask.RunMulti(rt, 4, func(i int) (int, error) { ran.Add(1); return i, nil })
+	if n := m.Cancel(); n != 4 {
+		t.Fatalf("Cancel cancelled %d sub-tasks, want 4 (all queued)", n)
+	}
+	release()
+	awaitDone(t, m.Done(), "cancelled multi-task")
+	if ran.Load() != 0 {
+		t.Fatalf("%d cancelled sub-task bodies ran", ran.Load())
+	}
+	for i, tk := range m.Tasks() {
+		if _, err := tk.Result(); !errors.Is(err, ptask.ErrCancelled) {
+			t.Fatalf("sub-task %d err = %v, want ErrCancelled", i, err)
+		}
+	}
+}
+
+// TestConformanceCancelCtxParent: cancelling the parent context of a
+// queued RunCtx task settles it with ErrCancelled without running it.
+func TestConformanceCancelCtxParent(t *testing.T) {
+	rt := newRT(t, 2)
+	release := wedge(t, rt)
+	defer release()
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Bool
+	tk := ptask.RunCtx(rt, ctx, func(context.Context) (int, error) { ran.Store(true); return 1, nil })
+	cancel()
+	awaitDone(t, tk.Done(), "ctx-cancelled task")
+	_, err := tk.Result()
+	if !errors.Is(err, ptask.ErrCancelled) {
+		t.Fatalf("err = %v, want ErrCancelled", err)
+	}
+	release()
+	rtQuiesce(t, rt)
+	if ran.Load() {
+		t.Fatal("ctx-cancelled queued task's body ran")
+	}
+}
+
+// TestConformanceCancelBarrierAbort: regions are not cancellable
+// mid-phase; the escape hatch is Barrier.Abort, which fails every
+// blocked and future Await with ErrBarrierAborted.
+func TestConformanceCancelBarrierAbort(t *testing.T) {
+	b := core.NewBarrier(2)
+	blocked := make(chan error, 1)
+	go func() {
+		blocked <- core.Catch(func() { b.AwaitAs(0) })
+	}()
+	time.Sleep(10 * time.Millisecond) // let party 0 block
+	b.Abort()
+	var err error
+	select {
+	case err = <-blocked:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Abort did not release the blocked party")
+	}
+	var pe *core.PanicError
+	if !errors.As(err, &pe) || !errors.Is(err, core.ErrBarrierAborted) {
+		t.Fatalf("blocked party got %v, want ErrBarrierAborted", err)
+	}
+	// Future arrivals fail fast too.
+	if err := core.Catch(func() { b.AwaitAs(1) }); err == nil {
+		t.Fatal("Await after Abort succeeded")
+	}
+}
+
+// --- Row: deadline expires ---
+
+// TestConformanceDeadlineQueued: a task whose deadline expires while it
+// is still queued skips execution entirely and settles with an error
+// matching BOTH ErrDeadline and context.DeadlineExceeded.
+func TestConformanceDeadlineQueued(t *testing.T) {
+	rt := newRT(t, 2)
+	release := wedge(t, rt)
+	defer release()
+	var ran atomic.Bool
+	tk := ptask.RunCtx(rt, context.Background(), func(context.Context) (int, error) {
+		ran.Store(true)
+		return 1, nil
+	}, ptask.WithDeadline(30*time.Millisecond))
+	awaitDone(t, tk.Done(), "deadline-expired queued task")
+	_, err := tk.Result()
+	if !errors.Is(err, ptask.ErrDeadline) {
+		t.Fatalf("err = %v, want ErrDeadline", err)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded reachable too", err)
+	}
+	release()
+	rtQuiesce(t, rt)
+	if ran.Load() {
+		t.Fatal("deadline-expired queued task's body ran")
+	}
+}
+
+// TestConformanceDeadlineRunning: an already-running body observes ctx
+// cancellation and settles with whatever it returns — cooperative, not
+// preemptive.
+func TestConformanceDeadlineRunning(t *testing.T) {
+	rt := newRT(t, 2)
+	started := make(chan struct{})
+	tk := ptask.RunCtx(rt, context.Background(), func(ctx context.Context) (int, error) {
+		close(started)
+		<-ctx.Done()
+		return 0, ctx.Err()
+	}, ptask.WithDeadline(30*time.Millisecond))
+	<-started
+	_, err := tk.Result()
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want the body's own ctx.Err()", err)
+	}
+}
+
+// --- Row: dependence fails ---
+
+// TestConformanceDepFailureCancel: under DepCancel (the RunAfterCtx
+// default) a failed dependence cancels the dependent with a *DepError
+// that matches both ErrDepFailed and ErrCancelled and unwraps to the
+// root cause; the dependent's body never runs.
+func TestConformanceDepFailureCancel(t *testing.T) {
+	rt := newRT(t, 2)
+	boom := errors.New("dependence boom")
+	a := ptask.Run(rt, func() (int, error) { return 0, boom })
+	var ran atomic.Bool
+	b := ptask.RunAfterCtx(rt, context.Background(), []ptask.Dep{a},
+		func(context.Context) (int, error) { ran.Store(true); return 1, nil })
+	_, err := b.Result()
+	var de *ptask.DepError
+	if !errors.As(err, &de) {
+		t.Fatalf("err = %T %v, want *DepError", err, err)
+	}
+	if !errors.Is(err, ptask.ErrDepFailed) || !errors.Is(err, ptask.ErrCancelled) {
+		t.Fatalf("err = %v, want both ErrDepFailed and ErrCancelled identities", err)
+	}
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v does not preserve the root cause via Unwrap", err)
+	}
+	rtQuiesce(t, rt)
+	if ran.Load() {
+		t.Fatal("DepCancel dependent's body ran")
+	}
+}
+
+// TestConformanceDepFailureCascade: the root cause survives a chain of
+// DepCancel propagations, not just one hop.
+func TestConformanceDepFailureCascade(t *testing.T) {
+	rt := newRT(t, 2)
+	boom := errors.New("root boom")
+	a := ptask.Run(rt, func() (int, error) { return 0, boom })
+	b := ptask.RunAfterCtx(rt, context.Background(), []ptask.Dep{a},
+		func(context.Context) (int, error) { return 1, nil })
+	c := ptask.RunAfterCtx(rt, context.Background(), []ptask.Dep{b},
+		func(context.Context) (int, error) { return 2, nil })
+	_, err := c.Result()
+	if !errors.Is(err, ptask.ErrDepFailed) || !errors.Is(err, boom) {
+		t.Fatalf("two-hop err = %v, want ErrDepFailed with root cause %v", err, boom)
+	}
+}
+
+// TestConformanceDepFailureRun: DepRun (the legacy policy and explicit
+// override) runs the dependent anyway.
+func TestConformanceDepFailureRun(t *testing.T) {
+	rt := newRT(t, 2)
+	boom := errors.New("boom")
+	a := ptask.Run(rt, func() (int, error) { return 0, boom })
+
+	// Explicit override on a ctx task.
+	v, err := ptask.RunAfterCtx(rt, context.Background(), []ptask.Dep{a},
+		func(context.Context) (int, error) { return 7, nil },
+		ptask.OnDepFailure(ptask.DepRun)).Result()
+	if err != nil || v != 7 {
+		t.Fatalf("DepRun dependent = (%v, %v), want (7, nil)", v, err)
+	}
+
+	// Legacy RunAfter defaults to DepRun.
+	v, err = ptask.RunAfter(rt, []ptask.Dep{a}, func() (int, error) { return 8, nil }).Result()
+	if err != nil || v != 8 {
+		t.Fatalf("legacy RunAfter dependent = (%v, %v), want (8, nil)", v, err)
+	}
+}
+
+// --- Row: retry ---
+
+// TestConformanceRetryAttempts: the body re-runs up to MaxAttempts and
+// a mid-sequence success stops the retrying.
+func TestConformanceRetryAttempts(t *testing.T) {
+	rt := newRT(t, 2)
+	flaky := errors.New("flaky")
+
+	var attempts atomic.Int64
+	v, err := ptask.RunCtx(rt, context.Background(), func(context.Context) (int, error) {
+		if attempts.Add(1) < 3 {
+			return 0, flaky
+		}
+		return 99, nil
+	}, ptask.WithRetry(ptask.RetryPolicy{MaxAttempts: 5, Base: 100 * time.Microsecond, Seed: 1})).Result()
+	if err != nil || v != 99 {
+		t.Fatalf("retried task = (%v, %v), want (99, nil)", v, err)
+	}
+	if attempts.Load() != 3 {
+		t.Fatalf("body ran %d times, want 3 (fail, fail, succeed)", attempts.Load())
+	}
+
+	// Exhaustion: always failing stops at MaxAttempts with the last error.
+	attempts.Store(0)
+	_, err = ptask.RunCtx(rt, context.Background(), func(context.Context) (int, error) {
+		attempts.Add(1)
+		return 0, flaky
+	}, ptask.WithRetry(ptask.RetryPolicy{MaxAttempts: 3, Base: 100 * time.Microsecond, Seed: 1})).Result()
+	if !errors.Is(err, flaky) {
+		t.Fatalf("exhausted retry err = %v, want %v", err, flaky)
+	}
+	if attempts.Load() != 3 {
+		t.Fatalf("body ran %d times, want exactly MaxAttempts=3", attempts.Load())
+	}
+}
+
+// TestConformanceRetryBackoffDeterministic: Backoff is a pure function
+// of (seed, attempt) — same seed same schedule, within the documented
+// [d/2, d) jitter envelope, capped at Max.
+func TestConformanceRetryBackoffDeterministic(t *testing.T) {
+	p := ptask.RetryPolicy{MaxAttempts: 6, Base: time.Millisecond, Max: 8 * time.Millisecond, Seed: 99}
+	q := ptask.RetryPolicy{MaxAttempts: 6, Base: time.Millisecond, Max: 8 * time.Millisecond, Seed: 100}
+	differs := false
+	for attempt := 0; attempt < 5; attempt++ {
+		d1, d2 := p.Backoff(attempt), p.Backoff(attempt)
+		if d1 != d2 {
+			t.Fatalf("attempt %d: Backoff not deterministic: %v vs %v", attempt, d1, d2)
+		}
+		full := p.Base << uint(attempt)
+		if full > p.Max {
+			full = p.Max
+		}
+		if d1 < full/2 || d1 >= full {
+			t.Fatalf("attempt %d: backoff %v outside jitter envelope [%v, %v)", attempt, d1, full/2, full)
+		}
+		if q.Backoff(attempt) != d1 {
+			differs = true
+		}
+	}
+	if !differs {
+		t.Fatal("two different seeds produced identical 5-step schedules")
+	}
+}
+
+// TestConformanceRetryTerminalErrors: cancellations and deadline
+// expiries are never retried — the attempt that observed them is the
+// last.
+func TestConformanceRetryTerminalErrors(t *testing.T) {
+	rt := newRT(t, 2)
+	var attempts atomic.Int64
+	_, err := ptask.RunCtx(rt, context.Background(), func(ctx context.Context) (int, error) {
+		attempts.Add(1)
+		<-ctx.Done()
+		return 0, ctx.Err()
+	}, ptask.WithDeadline(30*time.Millisecond),
+		ptask.WithRetry(ptask.RetryPolicy{MaxAttempts: 5, Base: time.Millisecond, Seed: 2})).Result()
+	if !errors.Is(err, context.DeadlineExceeded) && !errors.Is(err, ptask.ErrDeadline) {
+		t.Fatalf("err = %v, want a deadline identity", err)
+	}
+	if attempts.Load() != 1 {
+		t.Fatalf("body ran %d times after a deadline expiry, want 1 (terminal)", attempts.Load())
+	}
+}
+
+// rtQuiesce gives in-flight pool work a moment to finish so "body never
+// ran" flags are conclusive: it submits a full wave of no-op tasks and
+// joins them, which cannot complete until the workers have cycled.
+func rtQuiesce(t *testing.T, rt *ptask.Runtime) {
+	t.Helper()
+	m := ptask.RunMulti(rt, rt.Workers(), func(int) (struct{}, error) { return struct{}{}, nil })
+	awaitDone(t, m.Done(), "quiesce wave")
+}

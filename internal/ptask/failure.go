@@ -186,10 +186,13 @@ func RunAfterCtx[T any](rt *Runtime, ctx context.Context, deps []Dep, fn func(co
 
 // ctxError maps a context error to the package's failure vocabulary.
 func ctxError(err error) error {
+	// Both identities stay reachable: the package's sentinel for callers
+	// matching on failure vocabulary, and the original context error for
+	// callers matching on context semantics (DESIGN §10).
 	if errors.Is(err, context.DeadlineExceeded) {
-		return fmt.Errorf("%w (%v)", ErrDeadline, err)
+		return fmt.Errorf("%w (%w)", ErrDeadline, err)
 	}
-	return fmt.Errorf("%w (%v)", ErrCancelled, err)
+	return fmt.Errorf("%w (%w)", ErrCancelled, err)
 }
 
 // sleepCtx sleeps for d, abandoning the sleep (returning false) when ctx

@@ -1,0 +1,190 @@
+// Fuzz and property tests for the Chase–Lev deque — the scheduler's
+// most delicate structure. Two targets:
+//
+//   - FuzzDequeOps model-checks the sequential contract against a plain
+//     slice: any interleaving of owner pushes and pops plus (on the
+//     owner goroutine, hence race-free) steals must behave like a
+//     double-ended queue — pops LIFO from the bottom, steals FIFO from
+//     the top.
+//   - FuzzDequeConcurrent drives the real concurrent shape — one owner
+//     pushing and popping, several thieves stealing — and checks the
+//     conservation law that makes work stealing correct: every pushed
+//     task is extracted exactly once (nothing lost, nothing duplicated).
+//
+// Seed corpora live in testdata/fuzz/<target>/; plain `go test` replays
+// them automatically, so CI exercises both targets without -fuzz.
+package sched
+
+import (
+	"sync"
+	"testing"
+)
+
+// FuzzDequeOps interprets ops as a program over the deque and a model
+// slice: byte%3==0 → PushBottom, ==1 → PopBottom, ==2 → Steal. All ops
+// run on one goroutine — Steal is linearizable from anywhere, and the
+// owner calling it gives a deterministic sequential model.
+func FuzzDequeOps(f *testing.F) {
+	f.Add([]byte{0, 0, 1, 2, 0, 2, 1})
+	f.Add([]byte{0, 1, 0, 1, 0, 1})
+	f.Add([]byte{0, 0, 0, 0, 2, 2, 2, 2})
+	f.Add([]byte{2, 1, 0})
+	// Push storms drive growth past the initial ring capacity.
+	grow := make([]byte, 300)
+	for i := range grow {
+		grow[i] = 0
+	}
+	f.Add(grow)
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		d := NewDeque[int](8) // small initial ring: growth paths get hit
+		var model []int       // model[0] is the top (steal end)
+		next := 0
+		for pc, op := range ops {
+			switch op % 3 {
+			case 0:
+				d.PushBottom(next)
+				model = append(model, next)
+				next++
+			case 1:
+				v, ok := d.PopBottom()
+				if len(model) == 0 {
+					if ok {
+						t.Fatalf("op %d: PopBottom returned %d from an empty deque", pc, v)
+					}
+					continue
+				}
+				want := model[len(model)-1]
+				if !ok {
+					t.Fatalf("op %d: PopBottom empty, model has %d items", pc, len(model))
+				}
+				if v != want {
+					t.Fatalf("op %d: PopBottom = %d, want LIFO %d", pc, v, want)
+				}
+				model = model[:len(model)-1]
+			case 2:
+				v, ok := d.Steal()
+				if len(model) == 0 {
+					if ok {
+						t.Fatalf("op %d: Steal returned %d from an empty deque", pc, v)
+					}
+					continue
+				}
+				want := model[0]
+				if !ok {
+					t.Fatalf("op %d: Steal empty, model has %d items", pc, len(model))
+				}
+				if v != want {
+					t.Fatalf("op %d: Steal = %d, want FIFO %d", pc, v, want)
+				}
+				model = model[1:]
+			}
+			if got, want := d.Len(), len(model); got != want {
+				t.Fatalf("op %d: Len = %d, model %d", pc, got, want)
+			}
+		}
+		// Drain and check the leftover suffix in steal (FIFO) order.
+		for _, want := range model {
+			v, ok := d.Steal()
+			if !ok || v != want {
+				t.Fatalf("drain: Steal = (%d, %v), want (%d, true)", v, ok, want)
+			}
+		}
+		if _, ok := d.Steal(); ok {
+			t.Fatal("drain: deque not empty after model drained")
+		}
+	})
+}
+
+// FuzzDequeConcurrent: ops drives the owner (push/pop mix and pacing)
+// while nthieves goroutines steal continuously. Afterwards the multiset
+// of extracted values must be exactly {0..pushed-1}: no task lost, none
+// run twice.
+func FuzzDequeConcurrent(f *testing.F) {
+	f.Add([]byte{0, 0, 0, 1, 0, 0, 1, 1}, uint8(2))
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0}, uint8(4))
+	f.Add([]byte{0, 1, 0, 1, 0, 1, 0, 1}, uint8(1))
+	many := make([]byte, 400)
+	for i := range many {
+		if i%5 == 4 {
+			many[i] = 1
+		}
+	}
+	f.Add(many, uint8(3))
+	f.Fuzz(func(t *testing.T, ops []byte, nthieves uint8) {
+		thieves := int(nthieves%4) + 1
+		d := NewDeque[int](8)
+
+		var mu sync.Mutex
+		got := map[int]int{} // value → times extracted
+		take := func(v int) {
+			mu.Lock()
+			got[v]++
+			mu.Unlock()
+		}
+
+		done := make(chan struct{})
+		var wg sync.WaitGroup
+		for i := 0; i < thieves; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					if v, ok := d.Steal(); ok {
+						take(v)
+						continue
+					}
+					select {
+					case <-done:
+						// One last sweep: the owner may have pushed between
+						// our failed steal and the close.
+						for {
+							v, ok := d.Steal()
+							if !ok {
+								return
+							}
+							take(v)
+						}
+					default:
+					}
+				}
+			}()
+		}
+
+		pushed := 0
+		for _, op := range ops {
+			if op%2 == 0 {
+				d.PushBottom(pushed)
+				pushed++
+			} else {
+				if v, ok := d.PopBottom(); ok {
+					take(v)
+				}
+			}
+		}
+		// Owner drains what it can; thieves race it for the rest.
+		for {
+			v, ok := d.PopBottom()
+			if !ok {
+				break
+			}
+			take(v)
+		}
+		close(done)
+		wg.Wait()
+
+		mu.Lock()
+		defer mu.Unlock()
+		for v := 0; v < pushed; v++ {
+			switch got[v] {
+			case 1:
+			case 0:
+				t.Fatalf("task %d lost (pushed %d, thieves %d)", v, pushed, thieves)
+			default:
+				t.Fatalf("task %d extracted %d times (pushed %d, thieves %d)", v, got[v], pushed, thieves)
+			}
+		}
+		if len(got) != pushed {
+			t.Fatalf("extracted %d distinct values, pushed %d", len(got), pushed)
+		}
+	})
+}

@@ -39,7 +39,8 @@ type Snapshot struct {
 	// Abandoned counts tasks given up on by a timed shutdown
 	// (core.Pool.ShutdownTimeout): queued work that was never run plus
 	// wedged tasks that were still running when the pool stopped waiting.
-	// Zero on every clean shutdown.
+	// It is a live count — a left-behind worker that eventually finishes
+	// its task drops it back out — and zero on every clean shutdown.
 	Abandoned int64
 
 	// SubmitLatency is the sampled submit→start latency distribution.
