@@ -11,6 +11,13 @@
 //	parcbench -e all -quick      # everything, small sizes
 //	parcbench -e P7 -workers 8 -seed 99
 //	parcbench -e P2 -schedstats  # append per-worker scheduler counters
+//
+// It is also the front end of the committed-performance ratchet:
+//
+//	parcbench -perf                          # measure, ratchet vs last BENCH_*.json, no file written
+//	parcbench -perf -perfout BENCH_7.json    # measure and write a new committed baseline
+//	parcbench -perf -perfquick               # short windows (CI smoke; noisier)
+//	parcbench -perf -perfbaseline BENCH_6.json -perftol 25
 package main
 
 import (
@@ -20,6 +27,7 @@ import (
 	"strings"
 
 	"parc751/internal/experiments"
+	"parc751/internal/perfbench"
 )
 
 func main() {
@@ -31,8 +39,19 @@ func main() {
 		list    = flag.Bool("list", false, "list experiments and exit")
 		sstats  = flag.Bool("schedstats", false,
 			"print per-worker scheduler counters (pushes/pops/steals/parks/wakes) and submit latency for experiments that drive the real runtime")
+
+		perf     = flag.Bool("perf", false, "run the hot-path performance suite and ratchet against the last committed BENCH_<n>.json")
+		perfOut  = flag.String("perfout", "", "write the measured report to this file (e.g. BENCH_7.json); empty = measure and compare only")
+		perfBase = flag.String("perfbaseline", "", "baseline report to ratchet against (default: highest-numbered BENCH_<n>.json in the current directory, excluding -perfout)")
+		perfTol  = flag.Float64("perftol", perfbench.DefaultTolerancePct, "ns/op regression tolerance in percent")
+		perfEps  = flag.Float64("perfeps", perfbench.DefaultEpsilonNs, "absolute ns/op slack: deltas below this never fail, whatever the percentage")
+		perfQk   = flag.Bool("perfquick", false, "short measurement windows (CI smoke; too noisy to commit as a baseline)")
 	)
 	flag.Parse()
+
+	if *perf {
+		os.Exit(runPerf(*perfOut, *perfBase, *perfTol, *perfEps, *perfQk))
+	}
 
 	if *list {
 		for _, e := range experiments.All() {
@@ -69,4 +88,49 @@ func main() {
 		fmt.Fprintf(os.Stderr, "parcbench: %d experiment(s) had failed findings\n", failures)
 		os.Exit(1)
 	}
+}
+
+// runPerf measures the hot-path suite, optionally writes the report, and
+// ratchets it against the committed baseline. Exit codes: 0 ok, 1 the
+// ratchet failed, 2 operational error.
+func runPerf(out, baselinePath string, tolPct, epsNs float64, quick bool) int {
+	opts := perfbench.DefaultOptions()
+	if quick {
+		opts = perfbench.QuickOptions()
+	}
+	specs, cleanup := perfbench.Suite()
+	defer cleanup()
+	rep := perfbench.RunSuite(specs, opts, func(line string) { fmt.Println(line) })
+
+	if out != "" {
+		if err := perfbench.WriteReport(out, rep); err != nil {
+			fmt.Fprintf(os.Stderr, "parcbench: writing %s: %v\n", out, err)
+			return 2
+		}
+		fmt.Printf("wrote %s (%d hot paths)\n", out, len(rep.Results))
+	}
+
+	if baselinePath == "" {
+		var err error
+		baselinePath, err = perfbench.LatestBaseline(".", out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "parcbench: discovering baseline: %v\n", err)
+			return 2
+		}
+		if baselinePath == "" {
+			fmt.Println("perf ratchet: no committed BENCH_<n>.json baseline found; nothing to compare")
+			return 0
+		}
+	}
+	base, err := perfbench.LoadReport(baselinePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "parcbench: %v\n", err)
+		return 2
+	}
+	regs := perfbench.Compare(base, rep, tolPct, epsNs)
+	fmt.Printf("baseline %s: %s\n", baselinePath, perfbench.FormatRegressions(regs))
+	if len(regs) > 0 {
+		return 1
+	}
+	return 0
 }

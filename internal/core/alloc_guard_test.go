@@ -1,0 +1,68 @@
+//go:build !race
+
+// Allocation-budget guards for the scheduler hot paths. The zero-alloc
+// property is part of the PR's performance contract (BENCH ratchet): a
+// steady-state Submit→run cycle and a barrier generation must not touch
+// the heap. testing.AllocsPerRun reads global Mallocs, so allocations on
+// the worker side of the cycle count too — the guard covers the whole
+// round trip, not just the caller's half.
+//
+// Excluded under -race: the race runtime instruments channel and sync
+// operations with its own allocations, which would fail the guard for
+// reasons unrelated to the scheduler.
+
+package core
+
+import (
+	"testing"
+)
+
+// TestSubmitZeroAlloc pins the freelist design: envelope from taskPool,
+// pointer through deque/FIFO, timestamp probe instead of a wrapper
+// closure. Waiting for each task before the next submit keeps exactly one
+// envelope cycling, so the steady state is reached within the warmup.
+func TestSubmitZeroAlloc(t *testing.T) {
+	p := NewPool(4)
+	defer p.Shutdown()
+	done := make(chan struct{}, 1)
+	fn := func() { done <- struct{}{} }
+	// Reach steady state before measuring: envelope pool populated, global
+	// FIFO ring at final capacity, idle hint list at final capacity.
+	for i := 0; i < 256; i++ {
+		p.Submit(fn)
+		<-done
+	}
+	if got := testing.AllocsPerRun(100, func() {
+		p.Submit(fn)
+		<-done
+	}); got != 0 {
+		t.Fatalf("steady-state Submit→run cycle allocates %v objects/op, want 0", got)
+	}
+}
+
+// TestBarrierAwaitZeroAlloc pins the rewritten barrier: pre-allocated
+// per-party waiters and channels, integer generation word, no lazily
+// created park channel. A partner goroutine keeps generations completing;
+// it is parked in the generation after the last measured one when the
+// teardown Abort releases it.
+func TestBarrierAwaitZeroAlloc(t *testing.T) {
+	b := NewBarrier(2)
+	partnerDone := make(chan struct{})
+	go func() {
+		defer close(partnerDone)
+		defer func() { recover() }() // ErrBarrierAborted at teardown
+		for {
+			b.AwaitAs(1)
+		}
+	}()
+	for i := 0; i < 256; i++ {
+		b.AwaitAs(0)
+	}
+	if got := testing.AllocsPerRun(100, func() {
+		b.AwaitAs(0)
+	}); got != 0 {
+		t.Fatalf("steady-state barrier generation allocates %v objects/op, want 0", got)
+	}
+	b.Abort()
+	<-partnerDone
+}

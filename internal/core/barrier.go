@@ -31,8 +31,8 @@ var barrierSpin = func() int {
 }()
 
 // barrierYields is how many Gosched rounds a waiter tries after spinning
-// and before parking on the generation channel. On small machines the
-// remaining arrivals usually complete within these yields, so the channel
+// and before parking on its park word. On small machines the remaining
+// arrivals usually complete within these yields, so the parking protocol
 // (and its wakeup syscalls) is never touched.
 const barrierYields = 4
 
@@ -45,24 +45,29 @@ type barrierNode struct {
 	_      [52]byte
 }
 
-// barGen is one barrier generation. A fresh barGen is installed by each
-// generation's releaser; waiters identify their generation by the pointer,
-// which doubles as the sense flag of a classic sense-reversing barrier.
-type barGen struct {
-	gen     int
-	tickets atomic.Int64 // position allocator for anonymous Await callers
-	// done is the park channel, created lazily by the first waiter that
-	// exhausts its spin/yield budget and closed by the releaser. Most
-	// generations on a lightly loaded machine never allocate it.
-	done atomic.Pointer[chan struct{}]
+// barrierWaiter is one party's permanent park word: a claim/cancel CAS
+// word plus a one-token wake channel, both allocated once at NewBarrier
+// and reused every generation — a barrier cycle allocates nothing.
+//
+// gen holds 0 when the slot is empty and g+1 while the party is parked
+// (or about to park) waiting for generation g. The +1 keeps 0 free as
+// the empty sentinel. Exactly one of the releaser (claiming with
+// CAS(g+1→0) before sending the token) and the waiter (cancelling with
+// the same CAS when it sees the generation finished on its own) wins the
+// word; the loser of a claimed cancellation consumes the in-flight
+// token. ch is drained by its owner before every publication, so it
+// never holds more than one token and the claimer's send cannot block.
+type barrierWaiter struct {
+	gen atomic.Int64
+	ch  chan struct{}
+	_   [40]byte
 }
 
 // BarrierStats is one party's cumulative barrier interaction counters:
 // how many times it arrived, how many releases it caught while
-// spinning/yielding, and how many times it had to park on the generation
-// channel. SpinReleases + Parks counts the generations the party waited
-// for (the remainder were generations it completed itself as the serial
-// thread).
+// spinning/yielding, and how many times it had to park on its park word.
+// SpinReleases + Parks counts the generations the party waited for (the
+// remainder were generations it completed itself as the serial thread).
 type BarrierStats struct {
 	Waits        int64
 	SpinReleases int64
@@ -78,12 +83,20 @@ type barrierCounters struct {
 }
 
 // Barrier is a reusable (cyclic) barrier for a fixed number of parties,
-// implemented as a sense-reversing combining tree: arrivals count down at
-// tree leaves and propagate upward, so parties contend on at most
-// barrierFanIn-way shared counters instead of one central mutex. Waiters
-// spin briefly, yield, then park on a lazily created per-generation
-// channel; the releaser (the last arrival, which is also the generation's
-// serial thread) resets the tree and frees them.
+// implemented as a combining tree: arrivals count down at tree leaves and
+// propagate upward, so parties contend on at most barrierFanIn-way shared
+// counters instead of one central mutex. Waiters spin briefly, yield,
+// then park on a per-party park word; the releaser (the last arrival,
+// which is also the generation's serial thread) resets the tree, advances
+// the done generation counter, and wakes every parked party.
+//
+// Generations are identified by a monotonic counter rather than the
+// previous design's per-generation heap object: generation g is over
+// exactly when done > g, a single integer comparison that cannot be
+// confused by recycled state, and the park channels live for the life of
+// the barrier — there is no lazily created channel whose publication
+// could race a concurrent Abort or releaser (the bug this rewrite
+// removes), and a full await/release cycle performs no allocation.
 //
 // Parties with a stable identity should use AwaitAs, which pins each party
 // to a fixed tree leaf; anonymous parties use Await, which assigns leaf
@@ -93,8 +106,16 @@ type barrierCounters struct {
 type Barrier struct {
 	parties int
 	nodes   []barrierNode
-	state   atomic.Pointer[barGen]
 	stats   []barrierCounters
+	waiters []barrierWaiter
+
+	// done counts completed generations; generation g is released once
+	// done > g. tickets allocates arrival positions for anonymous Await:
+	// the barrier contract serialises generations, so each generation
+	// consumes a contiguous block of parties tickets and tickets mod
+	// parties is a permutation of the leaf positions within it.
+	done    atomic.Int64
+	tickets atomic.Int64
 
 	aborted   atomic.Bool
 	abortCh   chan struct{}
@@ -114,7 +135,11 @@ func NewBarrier(parties int) *Barrier {
 	b := &Barrier{
 		parties: parties,
 		stats:   make([]barrierCounters, parties),
+		waiters: make([]barrierWaiter, parties),
 		abortCh: make(chan struct{}),
+	}
+	for i := range b.waiters {
+		b.waiters[i].ch = make(chan struct{}, 1)
 	}
 	// Level sizes of the combining tree: level 0 absorbs the parties, each
 	// further level absorbs the completions of the one below, until a
@@ -153,7 +178,6 @@ func NewBarrier(parties int) *Barrier {
 		arrivals = n
 	}
 	b.nodes[total-1].parent = -1
-	b.state.Store(&barGen{})
 	return b
 }
 
@@ -167,8 +191,7 @@ func (b *Barrier) Await() (gen int, serial bool) {
 	if b.aborted.Load() {
 		panic(ErrBarrierAborted)
 	}
-	g := b.state.Load()
-	return b.await(g, int(g.tickets.Add(1)-1)%b.parties)
+	return b.await(int(b.tickets.Add(1)-1) % b.parties)
 }
 
 // AwaitAs is Await for a party with a stable identity id in
@@ -180,11 +203,10 @@ func (b *Barrier) AwaitAs(id int) (gen int, serial bool) {
 	if b.aborted.Load() {
 		panic(ErrBarrierAborted)
 	}
-	g := b.state.Load()
 	if id < 0 || id >= b.parties {
-		id = int(g.tickets.Add(1)-1) % b.parties
+		id = int(b.tickets.Add(1)-1) % b.parties
 	}
-	return b.await(g, id)
+	return b.await(id)
 }
 
 // SetFaultInjector attaches (or, with nil, detaches) a chaos injector.
@@ -192,10 +214,13 @@ func (b *Barrier) AwaitAs(id int) (gen int, serial bool) {
 // tree, the schedule dimension barrier bugs hide in.
 func (b *Barrier) SetFaultInjector(in *faultinject.Injector) { b.fi.Store(in) }
 
-func (b *Barrier) await(g *barGen, pos int) (int, bool) {
+func (b *Barrier) await(pos int) (int, bool) {
 	if in := b.fi.Load(); in != nil {
 		in.Point(faultinject.SiteBarrierArrive)
 	}
+	// The barrier contract serialises generations, so the count of
+	// completed generations is also the index of the one being entered.
+	gen := b.done.Load()
 	st := &b.stats[pos]
 	st.waits.Add(1)
 	// Climb: count down at the leaf; the last arrival at each node carries
@@ -208,68 +233,103 @@ func (b *Barrier) await(g *barGen, pos int) (int, bool) {
 			break
 		}
 		if nd.parent < 0 {
-			// Reset the tree before publishing the new generation: no
-			// party can re-arrive until it observes the new state.
-			for i := range b.nodes {
-				b.nodes[i].count.Store(b.nodes[i].init)
-			}
-			b.state.Store(&barGen{gen: g.gen + 1})
-			if ch := g.done.Load(); ch != nil {
-				close(*ch)
-			}
-			return g.gen, true
+			b.release(gen)
+			return int(gen), true
 		}
 		ni = int(nd.parent)
 	}
 	// Waiter: spin, then yield, then park. The generation is over the
-	// moment the state pointer moves.
+	// moment done moves past it.
 	for i := 0; i < barrierSpin; i++ {
-		if b.state.Load() != g {
+		if b.done.Load() > gen {
 			st.spins.Add(1)
-			return g.gen, false
+			return int(gen), false
 		}
 	}
 	for i := 0; i < barrierYields; i++ {
 		runtime.Gosched()
-		if b.state.Load() != g {
+		if b.done.Load() > gen {
 			st.spins.Add(1)
-			return g.gen, false
+			return int(gen), false
 		}
 		if b.aborted.Load() {
-			if b.state.Load() != g {
+			if b.done.Load() > gen {
 				st.spins.Add(1)
-				return g.gen, false
+				return int(gen), false
 			}
 			panic(ErrBarrierAborted)
 		}
 	}
-	chp := g.done.Load()
-	if chp == nil {
-		ch := make(chan struct{})
-		if g.done.CompareAndSwap(nil, &ch) {
-			chp = &ch
-		} else {
-			chp = g.done.Load()
-		}
+	// Park on this party's permanent park word.
+	wtr := &b.waiters[pos]
+	// Drain a stale token from a generation whose release this party
+	// caught by spinning: tokens are wake hints, done is the truth, and
+	// the channel must be empty before a new claim can be published.
+	select {
+	case <-wtr.ch:
+	default:
 	}
-	// The releaser loads g.done only after storing the next state, so if
-	// it missed the channel installed above, this recheck sees the new
-	// state (both are sequentially consistent atomics).
-	if b.state.Load() != g {
+	wtr.gen.Store(gen + 1)
+	// Publication/recheck handshake: the releaser advances done before
+	// scanning the park words, so either it sees this publication (and a
+	// token is guaranteed), or this recheck sees done advanced (and the
+	// publication must be retracted before leaving).
+	if b.done.Load() > gen {
+		if !wtr.gen.CompareAndSwap(gen+1, 0) {
+			<-wtr.ch // claimed: the token is in flight, consume it
+		}
 		st.spins.Add(1)
-		return g.gen, false
+		return int(gen), false
+	}
+	if b.aborted.Load() {
+		if !wtr.gen.CompareAndSwap(gen+1, 0) {
+			<-wtr.ch
+		}
+		if b.done.Load() > gen {
+			st.spins.Add(1)
+			return int(gen), false
+		}
+		panic(ErrBarrierAborted)
 	}
 	st.parks.Add(1)
 	select {
-	case <-*chp:
-		return g.gen, false
+	case <-wtr.ch:
+		// Only this generation's releaser can have claimed the word, and
+		// it advanced done first.
+		return int(gen), false
 	case <-b.abortCh:
-		if b.state.Load() != g {
+		// Retract the publication; a racing releaser that already
+		// claimed it owes a token that must not be left behind.
+		if !wtr.gen.CompareAndSwap(gen+1, 0) {
+			<-wtr.ch
+		}
+		if b.done.Load() > gen {
 			// The generation completed concurrently with the abort;
 			// this party's barrier succeeded.
-			return g.gen, false
+			return int(gen), false
 		}
 		panic(ErrBarrierAborted)
+	}
+}
+
+// release finishes generation gen as its serial thread: reset the tree so
+// the next generation can arrive, advance done (releasing spinners), then
+// claim and wake every parked party.
+func (b *Barrier) release(gen int64) {
+	// Reset before publishing: no party can re-arrive until it observes
+	// done advance, which happens after the counters are whole again.
+	for i := range b.nodes {
+		b.nodes[i].count.Store(b.nodes[i].init)
+	}
+	b.done.Store(gen + 1)
+	for i := range b.waiters {
+		wtr := &b.waiters[i]
+		if wtr.gen.CompareAndSwap(gen+1, 0) {
+			// Claimed: this party is parked (or mid-recheck) for gen.
+			// The send cannot block — the owner drained ch before
+			// publishing and the claim CAS admits exactly one sender.
+			wtr.ch <- struct{}{}
+		}
 	}
 }
 

@@ -56,68 +56,33 @@ func Catch(fn func()) (err error) {
 	return nil
 }
 
-// Future is a write-once result container. The zero value is not usable;
-// create with NewFuture.
-type Future[T any] struct {
-	done chan struct{}
-	once sync.Once
-	val  T
-	err  error
-}
-
-// NewFuture returns an incomplete future.
-func NewFuture[T any]() *Future[T] {
-	return &Future[T]{done: make(chan struct{})}
-}
-
-// Complete fulfils the future. Later completions are ignored (write-once).
-func (f *Future[T]) Complete(v T, err error) {
-	f.once.Do(func() {
-		f.val, f.err = v, err
-		close(f.done)
-	})
-}
-
-// Done returns a channel closed when the future completes.
-func (f *Future[T]) Done() <-chan struct{} { return f.done }
-
-// IsDone reports completion without blocking.
-func (f *Future[T]) IsDone() bool {
-	select {
-	case <-f.done:
-		return true
-	default:
-		return false
-	}
-}
-
-// Get blocks until completion and returns the value and error.
-func (f *Future[T]) Get() (T, error) {
-	<-f.done
-	return f.val, f.err
-}
-
-// TryGet returns immediately; ok is false if the future is incomplete.
-func (f *Future[T]) TryGet() (v T, err error, ok bool) {
-	select {
-	case <-f.done:
-		return f.val, f.err, true
-	default:
-		var zero T
-		return zero, nil, false
-	}
-}
-
 // latencySampleMask samples one in (mask+1) submissions into the
 // submit→start latency histogram, keeping the probe cost off the common
 // submit path.
 const latencySampleMask = 63
 
+// task is the pool's internal task envelope: the submitted function plus
+// the submit timestamp for the sampled latency probe (zero when this
+// submission was not sampled). Envelopes are recycled through taskPool
+// and passed by pointer through the deques and the global queue, so a
+// steady-state Submit→run cycle performs no allocation — the envelope,
+// the queue slot, and the wake are all reused storage. The old design
+// heap-allocated a closure per sampled task and boxed every queue push.
+type task struct {
+	fn func()
+	t0 time.Time
+}
+
+// taskPool recycles task envelopes across all pools. An envelope is
+// private to the runtime from Submit until runTask strips it (before the
+// user function runs), so recycling is invisible to callers.
+var taskPool = sync.Pool{New: func() any { return new(task) }}
+
 // Pool is a work-stealing worker pool: each worker owns a lock-free
 // Chase–Lev deque (LIFO for its own spawns, FIFO for thieves) and falls
 // back to a global FIFO for external submissions, matching the Parallel
 // Task runtime's design. Submissions wake at most one parked worker
-// (targeted wakeup); idle workers park on per-worker channels instead of
+// (targeted wakeup); idle workers park on per-worker slots instead of
 // polling.
 //
 // Lifecycle: NewPool starts the workers; Submit/Help/Quiesce may be used
@@ -129,7 +94,7 @@ const latencySampleMask = 63
 // an error instead of hanging forever.
 type Pool struct {
 	workers []*worker
-	global  sched.FIFO[func()]
+	global  sched.FIFO[*task]
 	victims *sched.RandomVictims
 
 	queued        atomic.Int64 // advisory: enqueued but not yet taken
@@ -138,10 +103,12 @@ type Pool struct {
 	globalSubmits atomic.Int64
 	down          atomic.Bool
 
-	// Parking: idle holds the park slots of workers (and helpers) that
-	// found no work anywhere; a submitter pops one slot and sends it a
-	// wake token. nidle mirrors len(idle) so the submit fast path can
-	// skip the mutex when nobody is parked.
+	// Parking: idle is a hint list of park slots that have registered for
+	// a wakeup. Ownership of a wake is decided by the slot's CAS state
+	// machine, not by list membership — a parker that finds work retracts
+	// with one CAS and simply leaves its stale entry behind for wakers to
+	// skip (see parkSlot). nidle mirrors len(idle) so the submit fast
+	// path can skip the mutex when nobody is (even possibly) parked.
 	idleMu sync.Mutex
 	idle   []*parkSlot
 	nidle  atomic.Int32
@@ -172,16 +139,34 @@ type Pool struct {
 	gaveUp atomic.Bool
 }
 
-// parkSlot is one parking place: a buffered wake channel plus the worker
-// that owns it (nil for external helpers).
+// parkSlot states. A slot cycles free → parked (owner registers) →
+// either free again (owner cancels: one CAS) or claimed (a waker wins
+// the CAS and sends exactly one token). The CAS is the single point of
+// arbitration: a wake token is sent if and only if the claim CAS
+// succeeded, so a token can be neither lost (the claimer always sends)
+// nor duplicated (at most one claimer per park cycle).
+const (
+	slotFree    int32 = iota // not registered for a wakeup
+	slotParked               // registered; owner is parking or parked
+	slotClaimed              // a waker owns this cycle; token in flight
+)
+
+// parkSlot is one parking place: a CAS-arbitrated state word, a one-slot
+// wake channel, and the worker that owns it (nil for external helpers).
+//
+// Invariant: ch is empty whenever state is slotFree — the owner drains
+// the in-flight token (park's receive, or cancelPark's) before the slot
+// can be re-registered. Combined with the claim CAS this bounds the
+// channel to at most one token, so the claimer's send never blocks.
 type parkSlot struct {
-	ch chan struct{}
-	w  *worker
+	state atomic.Int32
+	ch    chan struct{}
+	w     *worker
 }
 
 type worker struct {
 	id    int
-	deque *sched.Deque[func()]
+	deque *sched.Deque[task]
 	pool  *Pool
 	slot  *parkSlot
 	parks atomic.Int64
@@ -200,7 +185,7 @@ func NewPool(n int) *Pool {
 	}
 	p.qcond = sync.NewCond(&p.qmu)
 	for i := range p.workers {
-		w := &worker{id: i, deque: sched.NewDeque[func()](64), pool: p}
+		w := &worker{id: i, deque: sched.NewDeque[task](64), pool: p}
 		w.slot = &parkSlot{ch: make(chan struct{}, 1), w: w}
 		p.workers[i] = w
 	}
@@ -232,6 +217,10 @@ func (p *Pool) Executed() int64 { return p.executed.Load() }
 // that worker's own deque (depth-first, cache-friendly); called from
 // outside, it goes on the global queue. At most one parked worker is
 // woken. Submit panics if the pool has been Shutdown.
+//
+// Steady-state Submit is allocation-free: the envelope comes from
+// taskPool, the deque stores it by pointer, and the latency probe is a
+// timestamp in the envelope rather than a wrapper closure.
 func (p *Pool) Submit(fn func()) {
 	if p.down.Load() {
 		panic("core: Submit on a Pool after Shutdown (task would never run)")
@@ -256,19 +245,16 @@ func (p *Pool) Submit(fn func()) {
 		p.inflight.Add(-1)
 		panic("core: Submit on a Pool after Shutdown (task would never run)")
 	}
+	t := taskPool.Get().(*task)
+	t.fn = fn
 	if p.latN.Add(1)&latencySampleMask == 0 {
-		inner := fn
-		start := time.Now()
-		fn = func() {
-			p.lat.Observe(time.Since(start))
-			inner()
-		}
+		t.t0 = time.Now()
 	}
 	if w := p.reg.current(); w != nil {
-		w.deque.PushBottom(fn)
+		w.deque.PushBottom(t)
 	} else {
 		p.globalSubmits.Add(1)
-		p.global.Push(fn)
+		p.global.Push(t)
 	}
 	p.wakeOne()
 }
@@ -277,65 +263,64 @@ func (p *Pool) Submit(fn func()) {
 // workers.
 func (p *Pool) OnWorker() bool { return p.reg.current() != nil }
 
-// wakeOne pops one parked slot and sends it a wake token. The nidle fast
-// path means a submit into a busy pool never touches the idle mutex.
+// wakeOne claims one parked slot and sends it a wake token. The nidle
+// fast path means a submit into a busy pool never touches the idle
+// mutex. Entries whose claim CAS fails are retractions the owner already
+// cancelled (or re-registrations already claimed through a newer entry);
+// they are discarded and the scan continues, so a wake is only consumed
+// by a slot that is genuinely parked.
 func (p *Pool) wakeOne() {
 	if p.nidle.Load() == 0 {
 		return
 	}
-	p.idleMu.Lock()
-	n := len(p.idle)
-	if n == 0 {
+	for {
+		p.idleMu.Lock()
+		n := len(p.idle)
+		if n == 0 {
+			p.idleMu.Unlock()
+			return
+		}
+		s := p.idle[n-1]
+		p.idle[n-1] = nil
+		p.idle = p.idle[:n-1]
+		p.nidle.Store(int32(n - 1))
 		p.idleMu.Unlock()
-		return
-	}
-	s := p.idle[n-1]
-	p.idle = p.idle[:n-1]
-	p.nidle.Store(int32(n - 1))
-	p.idleMu.Unlock()
-	if s.w != nil {
-		s.w.wakes.Add(1)
-	}
-	select {
-	case s.ch <- struct{}{}:
-	default:
+		if s.state.CompareAndSwap(slotParked, slotClaimed) {
+			if s.w != nil {
+				s.w.wakes.Add(1)
+			}
+			// Never blocks: ch is empty whenever the slot is claimable
+			// (see the parkSlot invariant), and this cycle's claim CAS
+			// admitted exactly one sender.
+			s.ch <- struct{}{}
+			return
+		}
 	}
 }
 
+// pushIdle registers s for a wakeup: mark it parked, then publish it on
+// the hint list. The order matters — a waker that pops the entry must be
+// able to win the claim CAS, so the parked state has to be visible first.
 func (p *Pool) pushIdle(s *parkSlot) {
+	s.state.Store(slotParked)
 	p.idleMu.Lock()
 	p.idle = append(p.idle, s)
 	p.nidle.Store(int32(len(p.idle)))
 	p.idleMu.Unlock()
 }
 
-// removeIdle takes s off the idle list; false means a waker already
-// popped it (a wake token is, or soon will be, in s.ch).
-func (p *Pool) removeIdle(s *parkSlot) bool {
-	p.idleMu.Lock()
-	defer p.idleMu.Unlock()
-	for i, e := range p.idle {
-		if e == s {
-			p.idle = append(p.idle[:i], p.idle[i+1:]...)
-			p.nidle.Store(int32(len(p.idle)))
-			return true
-		}
-	}
-	return false
-}
-
-// cancelIdle retracts a registration made by pushIdle when the goroutine
-// found work (or is leaving) on its own. If a waker already claimed the
-// slot, the token it sent is absorbed and — since that waker believed its
-// task was now covered — the wake is passed on when work remains queued.
-func (p *Pool) cancelIdle(s *parkSlot) {
-	if p.removeIdle(s) {
+// cancelPark retracts a registration made by pushIdle when the goroutine
+// found work (or is leaving) on its own. One CAS decides the race: if it
+// wins, the stale hint-list entry is left for wakeOne to skip; if a
+// waker already claimed the slot, its token is absorbed — it is
+// guaranteed to arrive — and, since that waker believed its task was now
+// covered, the wake is passed on while work remains queued.
+func (p *Pool) cancelPark(s *parkSlot) {
+	if s.state.CompareAndSwap(slotParked, slotFree) {
 		return
 	}
-	select {
-	case <-s.ch:
-	default:
-	}
+	<-s.ch
+	s.state.Store(slotFree)
 	if p.queued.Load() > 0 {
 		p.wakeOne()
 	}
@@ -349,74 +334,139 @@ func (w *worker) run() {
 		p.wg.Done()
 	}()
 	for {
-		fn, ok := p.findWork(w)
+		t, ok := p.findWork(w)
 		if !ok {
 			if p.park(w) {
 				return
 			}
 			continue
 		}
-		p.runTask(fn)
+		p.runTask(t)
 	}
 }
 
 // park blocks w until a submitter wakes it or the pool stops; it returns
-// true when the worker should exit. The push-then-recheck order closes
-// the missed-wakeup window: a submitter enqueues before checking for
-// idlers, so either it sees this worker's registration, or the recheck
-// here sees its task.
+// true when the worker should exit. The register-then-recheck order
+// closes the missed-wakeup window: a submitter enqueues before checking
+// for idlers, so either it sees this worker's registration, or the
+// recheck here sees its task. The recheck must be findWorkFull — a
+// random steal round can miss the one deque that holds the task, and a
+// worker that parks after consuming the submitter's only wake token has
+// lost it for good (the regression test TestNoLostWakeup hangs on
+// exactly that with a random recheck).
 func (p *Pool) park(w *worker) (exit bool) {
 	s := w.slot
 	p.pushIdle(s)
-	if fn, ok := p.findWork(w); ok {
-		p.cancelIdle(s)
-		p.runTask(fn)
+	if t, ok := p.findWorkFull(w); ok {
+		p.cancelPark(s)
+		p.runTask(t)
 		return false
 	}
 	w.parks.Add(1)
 	select {
 	case <-s.ch:
+		s.state.Store(slotFree)
 		return false
 	case <-p.stop:
-		p.cancelIdle(s)
+		p.cancelPark(s)
 		return true
 	}
 }
 
 // findWork implements the acquisition order: own deque, global queue, then
-// one steal round over random victims.
-func (p *Pool) findWork(w *worker) (func(), bool) {
+// one steal round over random victims. A successful steal is a batch
+// steal (sched.StealInto): the first stolen task is returned for
+// immediate execution and up to half the victim's remaining load lands in
+// this worker's own deque, where siblings can re-steal it — one round
+// trip rebalances a whole backlog instead of one task.
+func (p *Pool) findWork(w *worker) (*task, bool) {
 	if w != nil {
-		if fn, ok := w.deque.PopBottom(); ok {
+		if t, ok := w.deque.PopBottom(); ok {
 			p.queued.Add(-1)
-			return fn, true
+			return t, true
 		}
 	}
-	if fn, ok := p.global.Pop(); ok {
+	if t, ok := p.global.Pop(); ok {
 		p.queued.Add(-1)
-		return fn, true
+		return t, true
 	}
 	if w != nil {
 		for i := 1; i < len(p.workers); i++ {
 			v := p.victims.Next(w.id)
-			if fn, ok := p.workers[v].deque.Steal(); ok {
-				p.queued.Add(-1)
-				if in := p.fi.Load(); in != nil {
-					in.Point(faultinject.SiteSteal)
-				}
-				return fn, true
+			if t, ok := p.steal(w, p.workers[v]); ok {
+				return t, true
 			}
 		}
 	}
 	return nil, false
 }
 
-func (p *Pool) runTask(fn func()) {
+// findWorkFull is findWork followed by a deterministic sweep over every
+// worker's deque. The random round in findWork gives good contention
+// behaviour but only probabilistic coverage; the sweep gives certainty,
+// which the parking protocol needs: a goroutine may only go (or stay)
+// parked after proving that no queue anywhere holds work. External
+// helpers (w == nil) sweep too — stealing is thief-safe from any
+// goroutine — so a helper that consumed a wake token can always reach
+// the task that token was sent for.
+func (p *Pool) findWorkFull(w *worker) (*task, bool) {
+	if t, ok := p.findWork(w); ok {
+		return t, true
+	}
+	self := -1
+	if w != nil {
+		self = w.id
+	}
+	for v := range p.workers {
+		if v == self {
+			continue
+		}
+		if t, ok := p.steal(w, p.workers[v]); ok {
+			return t, true
+		}
+	}
+	return nil, false
+}
+
+// steal takes work from victim on behalf of w (nil for an external
+// helper, which steals singly — it has no deque to batch into). When a
+// batch landed in w's deque, one sibling is woken to share it.
+func (p *Pool) steal(w *worker, victim *worker) (*task, bool) {
+	var dst *sched.Deque[task]
+	if w != nil {
+		dst = w.deque
+	}
+	t, ok := victim.deque.StealInto(dst)
+	if !ok {
+		return nil, false
+	}
+	p.queued.Add(-1)
+	if in := p.fi.Load(); in != nil {
+		in.Point(faultinject.SiteSteal)
+	}
+	// findWork only steals after w's own deque came up empty, so a
+	// non-empty deque here means StealInto moved a batch.
+	if w != nil && w.deque.Len() > 0 {
+		p.wakeOne()
+	}
+	return t, true
+}
+
+// runTask strips the envelope (recording the sampled latency probe),
+// recycles it, and runs the task function under panic capture.
+func (p *Pool) runTask(t *task) {
 	if in := p.fi.Load(); in != nil {
 		// A Stall rule here wedges this worker before it executes the
 		// task, modelling a stalled core: siblings must steal its queue.
 		in.Point(faultinject.SiteRun)
 	}
+	if !t.t0.IsZero() {
+		p.lat.Observe(time.Since(t.t0))
+	}
+	fn := t.fn
+	t.fn = nil
+	t.t0 = time.Time{}
+	taskPool.Put(t)
 	// Panics are contained per-task; the task wrapper (e.g. a ptask
 	// future) is responsible for recording them. A bare Submit that
 	// panics must still not kill the worker.
@@ -453,14 +503,14 @@ func (p *Pool) Help(done <-chan struct{}) {
 			return
 		default:
 		}
-		if fn, ok := p.findWork(w); ok {
-			p.runTask(fn)
+		if t, ok := p.findWork(w); ok {
+			p.runTask(t)
 			continue
 		}
 		p.pushIdle(s)
-		if fn, ok := p.findWork(w); ok {
-			p.cancelIdle(s)
-			p.runTask(fn)
+		if t, ok := p.findWorkFull(w); ok {
+			p.cancelPark(s)
+			p.runTask(t)
 			continue
 		}
 		if w != nil {
@@ -468,9 +518,10 @@ func (p *Pool) Help(done <-chan struct{}) {
 		}
 		select {
 		case <-done:
-			p.cancelIdle(s)
+			p.cancelPark(s)
 			return
 		case <-s.ch:
+			s.state.Store(slotFree)
 			// Woken for work. If done fired at the same time the loop
 			// exits above without consuming it — pass the token on so
 			// the task that triggered the wake is not stranded.

@@ -167,7 +167,7 @@ func (h eventHeap) peekTime() (uint64, bool) {
 // parallel schedules on a serial host).
 type Machine struct {
 	cfg       Config
-	deques    []*sched.Deque[*Task]
+	deques    []*sched.Deque[Task]
 	global    sched.FIFO[*Task]
 	victims   *sched.RoundRobinVictims
 	events    eventHeap
@@ -190,12 +190,12 @@ func New(cfg Config) *Machine {
 	}
 	m := &Machine{
 		cfg:     cfg,
-		deques:  make([]*sched.Deque[*Task], cfg.Procs),
+		deques:  make([]*sched.Deque[Task], cfg.Procs),
 		victims: sched.NewRoundRobinVictims(cfg.Procs),
 		idle:    make([]bool, cfg.Procs),
 	}
 	for i := range m.deques {
-		m.deques[i] = sched.NewDeque[*Task](64)
+		m.deques[i] = sched.NewDeque[Task](64)
 	}
 	return m
 }

@@ -1,0 +1,136 @@
+package perfbench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// The ratchet policy (EXPERIMENTS.md): a hot path regresses when its
+// ns/op exceeds the committed baseline by more than TolerancePct AND by
+// more than EpsilonNs. The relative bound is the contract; the absolute
+// epsilon keeps sub-nanosecond jitter on very fast paths (a 3 ns barrier
+// word bump is 10% of 30 ns) from flapping the build. Allocations
+// ratchet separately and absolutely: any increase of at least
+// AllocSlack objects per op fails, because the zero-allocation paths
+// must stay at zero — there is no "10% of zero".
+const (
+	DefaultTolerancePct = 10.0
+	DefaultEpsilonNs    = 20.0
+	AllocSlack          = 0.5
+)
+
+// Regression is one failed ratchet check.
+type Regression struct {
+	Name   string
+	Detail string
+}
+
+// Compare applies the ratchet: every baseline hot path must still exist
+// and must not regress in ns/op (beyond tolPct AND epsNs) or allocs/op
+// (beyond AllocSlack). Paths new in cur are allowed — they become part
+// of the baseline when the report is committed.
+func Compare(base, cur Report, tolPct, epsNs float64) []Regression {
+	if tolPct <= 0 {
+		tolPct = DefaultTolerancePct
+	}
+	if epsNs <= 0 {
+		epsNs = DefaultEpsilonNs
+	}
+	curByName := make(map[string]Result, len(cur.Results))
+	for _, r := range cur.Results {
+		curByName[r.Name] = r
+	}
+	var regs []Regression
+	for _, b := range base.Results {
+		c, ok := curByName[b.Name]
+		if !ok {
+			regs = append(regs, Regression{b.Name,
+				"hot path present in the baseline but missing from this run (coverage regression)"})
+			continue
+		}
+		if over := c.NsPerOp - b.NsPerOp; over > epsNs && c.NsPerOp > b.NsPerOp*(1+tolPct/100) {
+			regs = append(regs, Regression{b.Name, fmt.Sprintf(
+				"ns/op %.1f vs baseline %.1f (+%.1f%%, tolerance %.0f%%)",
+				c.NsPerOp, b.NsPerOp, 100*over/b.NsPerOp, tolPct)})
+		}
+		if c.AllocsPerOp > b.AllocsPerOp+AllocSlack {
+			regs = append(regs, Regression{b.Name, fmt.Sprintf(
+				"allocs/op %.2f vs baseline %.2f (allocation budget is a hard ratchet)",
+				c.AllocsPerOp, b.AllocsPerOp)})
+		}
+	}
+	sort.Slice(regs, func(i, j int) bool { return regs[i].Name < regs[j].Name })
+	return regs
+}
+
+// WriteReport marshals the report to path (pretty-printed, trailing
+// newline — the file is committed and diffed by humans).
+func WriteReport(path string, rep Report) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// LoadReport reads and validates a committed report.
+func LoadReport(path string) (Report, error) {
+	var rep Report
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return rep, err
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return rep, fmt.Errorf("perfbench: %s: %w", path, err)
+	}
+	if rep.Schema != SchemaV1 {
+		return rep, fmt.Errorf("perfbench: %s: unknown schema %q (want %q)", path, rep.Schema, SchemaV1)
+	}
+	return rep, nil
+}
+
+var benchFileRe = regexp.MustCompile(`^BENCH_(\d+)\.json$`)
+
+// LatestBaseline finds the highest-numbered BENCH_<n>.json in dir —
+// the last committed baseline, by the stacked-PR numbering convention.
+// exclude (may be "") names a file to skip, so a run regenerating
+// BENCH_7.json ratchets against BENCH_6.json rather than itself.
+// Returns "" when no baseline exists (first ever report).
+func LatestBaseline(dir, exclude string) (string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return "", err
+	}
+	best, bestN := "", -1
+	for _, e := range entries {
+		m := benchFileRe.FindStringSubmatch(e.Name())
+		if m == nil || e.Name() == filepath.Base(exclude) {
+			continue
+		}
+		n, err := strconv.Atoi(m[1])
+		if err != nil || n <= bestN {
+			continue
+		}
+		best, bestN = filepath.Join(dir, e.Name()), n
+	}
+	return best, nil
+}
+
+// FormatRegressions renders the verdict block the CLI prints.
+func FormatRegressions(regs []Regression) string {
+	if len(regs) == 0 {
+		return "perf ratchet: all hot paths within tolerance"
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "perf ratchet: %d hot path(s) regressed:\n", len(regs))
+	for _, r := range regs {
+		fmt.Fprintf(&sb, "  %-24s %s\n", r.Name, r.Detail)
+	}
+	return strings.TrimRight(sb.String(), "\n")
+}

@@ -1,0 +1,169 @@
+// Package perfbench is the committed-performance harness behind
+// `parcbench -perf`: it measures the runtime's canonical hot paths
+// (scheduler submit, task join, worksharing loops, barriers, job-serving
+// enqueue), emits a machine-readable report (BENCH_<n>.json at the repo
+// root), and compares a fresh run against the last committed report —
+// the perf ratchet. A hot path that regresses by more than the tolerance
+// fails the comparison, so a perf regression is a red build, not a
+// surprise in the next paper run.
+//
+// The harness is deliberately self-contained (no testing.B): each spec
+// is a closure that runs the operation n times, and Measure grows n
+// until a repeat fills the measurement window, then keeps the best
+// (minimum) ns/op and allocs/op across repeats. Minimum, not mean: the
+// best observed run is the least-noisy estimate of the code's cost, and
+// the ratchet must not tighten or loosen with machine load.
+package perfbench
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+)
+
+// Result is one hot path's measurement.
+type Result struct {
+	// Name identifies the hot path (stable across reports; the
+	// comparator joins on it).
+	Name string `json:"name"`
+	// NsPerOp is wall time per operation, best repeat.
+	NsPerOp float64 `json:"ns_per_op"`
+	// AllocsPerOp is heap allocations per operation (process-wide
+	// Mallocs delta, so worker-side allocations count), best repeat.
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	// Ops is the iteration count of the best repeat.
+	Ops int `json:"ops"`
+}
+
+// Report is the serialized form of one full suite run — the BENCH_<n>.json
+// schema (documented in EXPERIMENTS.md).
+type Report struct {
+	// Schema versions the file format.
+	Schema string `json:"schema"`
+	// Go, GOOS, GOARCH, CPUs record the environment the numbers came
+	// from; the comparator warns (in its verdict text) when they differ.
+	Go     string `json:"go"`
+	GOOS   string `json:"goos"`
+	GOARCH string `json:"goarch"`
+	CPUs   int    `json:"cpus"`
+	// Created is the RFC 3339 run timestamp.
+	Created string `json:"created"`
+	// Quick marks reduced-window runs (CI smoke); quick numbers are
+	// noisier and not meant to be committed as a baseline.
+	Quick   bool     `json:"quick,omitempty"`
+	Results []Result `json:"results"`
+}
+
+// SchemaV1 is the current report schema identifier.
+const SchemaV1 = "parc751/perfbench/v1"
+
+// Spec is one benchmarkable hot path: Bench must perform the operation
+// exactly n times (amortizing any fixture it needs across the n ops).
+type Spec struct {
+	Name  string
+	Bench func(n int)
+}
+
+// Options tunes the measurement.
+type Options struct {
+	// MinTime is the per-repeat measurement window; a repeat's iteration
+	// count grows until one batch fills it.
+	MinTime time.Duration
+	// Repeats is how many windows to measure; the best is kept.
+	Repeats int
+}
+
+// DefaultOptions is the committed-baseline configuration.
+func DefaultOptions() Options { return Options{MinTime: 200 * time.Millisecond, Repeats: 3} }
+
+// QuickOptions is the CI-smoke configuration: one short window per path.
+func QuickOptions() Options { return Options{MinTime: 25 * time.Millisecond, Repeats: 2} }
+
+func (o *Options) fill() {
+	if o.MinTime <= 0 {
+		o.MinTime = DefaultOptions().MinTime
+	}
+	if o.Repeats < 1 {
+		o.Repeats = 1
+	}
+}
+
+// maxOps bounds iteration growth for pathologically fast ops.
+const maxOps = 1 << 28
+
+// Measure runs one spec: warm up, grow the batch size until a batch
+// fills the window, repeat, keep the minimum ns/op and allocs/op.
+func Measure(s Spec, o Options) Result {
+	o.fill()
+	s.Bench(1) // warmup: lazy pools, ring capacities, first-use paths
+	res := Result{Name: s.Name, NsPerOp: float64(maxInt64), AllocsPerOp: float64(maxInt64)}
+	n := 1
+	for r := 0; r < o.Repeats; r++ {
+		for {
+			var before, after runtime.MemStats
+			runtime.ReadMemStats(&before)
+			t0 := time.Now()
+			s.Bench(n)
+			elapsed := time.Since(t0)
+			runtime.ReadMemStats(&after)
+			if elapsed >= o.MinTime || n >= maxOps {
+				ns := float64(elapsed.Nanoseconds()) / float64(n)
+				allocs := float64(after.Mallocs-before.Mallocs) / float64(n)
+				if ns < res.NsPerOp {
+					res.NsPerOp = ns
+					res.Ops = n
+				}
+				if allocs < res.AllocsPerOp {
+					res.AllocsPerOp = allocs
+				}
+				break
+			}
+			n = grow(n, elapsed, o.MinTime)
+		}
+	}
+	return res
+}
+
+const maxInt64 = int64(^uint64(0) >> 1)
+
+// grow predicts the next batch size from the last one, like the testing
+// package: overshoot the window slightly, never grow more than 100x,
+// always make progress.
+func grow(n int, elapsed, target time.Duration) int {
+	next := n * 100
+	if elapsed > 0 {
+		next = int(float64(n) * 1.2 * float64(target) / float64(elapsed))
+	}
+	if next <= n {
+		next = n + 1
+	}
+	if next > n*100 {
+		next = n * 100
+	}
+	if next > maxOps {
+		next = maxOps
+	}
+	return next
+}
+
+// RunSuite measures every spec and assembles the report. progress, when
+// non-nil, receives one line per completed path.
+func RunSuite(specs []Spec, o Options, progress func(string)) Report {
+	rep := Report{
+		Schema:  SchemaV1,
+		Go:      runtime.Version(),
+		GOOS:    runtime.GOOS,
+		GOARCH:  runtime.GOARCH,
+		CPUs:    runtime.NumCPU(),
+		Created: time.Now().UTC().Format(time.RFC3339),
+		Quick:   o.MinTime > 0 && o.MinTime < DefaultOptions().MinTime,
+	}
+	for _, s := range specs {
+		r := Measure(s, o)
+		rep.Results = append(rep.Results, r)
+		if progress != nil {
+			progress(fmt.Sprintf("%-24s %12.1f ns/op %8.2f allocs/op  (n=%d)", r.Name, r.NsPerOp, r.AllocsPerOp, r.Ops))
+		}
+	}
+	return rep
+}

@@ -1,0 +1,152 @@
+package perfbench
+
+import (
+	"bytes"
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"sync"
+
+	"parc751/internal/core"
+	"parc751/internal/parcserve"
+	"parc751/internal/ptask"
+	"parc751/internal/pyjama"
+	"parc751/internal/reduction"
+)
+
+// Suite returns the canonical hot-path specs and a cleanup that tears
+// down the long-lived fixtures (pools, runtimes, the in-process server).
+// The set and the names are the contract with committed BENCH_<n>.json
+// baselines: renaming or dropping one fails the ratchet's coverage check.
+func Suite() (specs []Spec, cleanup func()) {
+	// core_submit: one Submit→run round trip on a live pool, the
+	// scheduler's innermost cycle (envelope freelist, deque push, wake).
+	pool := core.NewPool(4)
+	submitDone := make(chan struct{}, 1)
+	submitFn := func() { submitDone <- struct{}{} }
+	specs = append(specs, Spec{Name: "core_submit", Bench: func(n int) {
+		for i := 0; i < n; i++ {
+			pool.Submit(submitFn)
+			<-submitDone
+		}
+	}})
+
+	// ptask_result: spawn, join, recycle — the Parallel Task API's
+	// fork/join cycle including the pooled future envelope.
+	rt := ptask.NewRuntime(4)
+	taskBody := func() (int, error) { return 42, nil }
+	specs = append(specs, Spec{Name: "ptask_result", Bench: func(n int) {
+		for i := 0; i < n; i++ {
+			t := ptask.Run(rt, taskBody)
+			if _, err := t.Result(); err != nil {
+				panic(err)
+			}
+			t.Release()
+		}
+	}})
+
+	// pyjama_for_<schedule>: one worksharing loop (1024 iterations over 4
+	// threads) plus its implicit barrier. Regions are recycled every
+	// regionOps loops so region spawn cost is amortized while the
+	// worksharing slot table stays bounded.
+	for _, sc := range []struct {
+		name  string
+		sched pyjama.Schedule
+	}{
+		{"pyjama_for_static", pyjama.Static(0)},
+		{"pyjama_for_dynamic", pyjama.Dynamic(64)},
+		{"pyjama_for_guided", pyjama.Guided(0)},
+		{"pyjama_for_auto", pyjama.Auto()},
+	} {
+		sched := sc.sched
+		specs = append(specs, Spec{Name: sc.name, Bench: func(n int) {
+			forOps(n, func(tc *pyjama.TC, ops int) {
+				sink := 0
+				body := func(i int) { sink += i }
+				for k := 0; k < ops; k++ {
+					tc.For(loopN, sched, body)
+				}
+				_ = sink
+			})
+		}})
+	}
+
+	// pyjama_for_reduce: the loop plus the serial-thread combine and its
+	// publishing barrier.
+	specs = append(specs, Spec{Name: "pyjama_for_reduce", Bench: func(n int) {
+		forOps(n, func(tc *pyjama.TC, ops int) {
+			r := reduction.Sum[int]()
+			for k := 0; k < ops; k++ {
+				pyjama.ForReduce(tc, loopN, pyjama.Static(0), r,
+					func(i, acc int) int { return acc + i })
+			}
+		})
+	}})
+
+	// barrier_t<N>: one full barrier generation for a team of N — the
+	// combining tree plus the precise-parking waiter protocol.
+	for _, parties := range []int{2, 4, 8} {
+		parties := parties
+		specs = append(specs, Spec{Name: fmt.Sprintf("barrier_t%d", parties), Bench: func(n int) {
+			b := core.NewBarrier(parties)
+			var wg sync.WaitGroup
+			for id := 0; id < parties; id++ {
+				wg.Add(1)
+				go func(id int) {
+					defer wg.Done()
+					for k := 0; k < n; k++ {
+						b.AwaitAs(id)
+					}
+				}(id)
+			}
+			wg.Wait()
+		}})
+	}
+
+	// parcserve_enqueue: one POST /jobs/sort through the in-process
+	// server — JSON decode, admission, dispatch onto the runtime, a small
+	// sort, and the response write. BatchMax 1 so a lone sequential
+	// client is not serialized on the coalescing timer.
+	srv := parcserve.NewServer(parcserve.Config{Workers: 4, BatchMax: 1})
+	payload := []byte(`{"n":64,"seed":751}`)
+	specs = append(specs, Spec{Name: "parcserve_enqueue", Bench: func(n int) {
+		for i := 0; i < n; i++ {
+			req := httptest.NewRequest("POST", "/jobs/sort", bytes.NewReader(payload))
+			rec := httptest.NewRecorder()
+			srv.ServeHTTP(rec, req)
+			if rec.Code != 200 {
+				panic(fmt.Sprintf("parcserve_enqueue: status %d: %s", rec.Code, strings.TrimSpace(rec.Body.String())))
+			}
+		}
+	}})
+
+	cleanup = func() {
+		pool.Shutdown()
+		rt.Shutdown()
+	}
+	return specs, cleanup
+}
+
+// loopN is the per-For trip count: large enough that the schedules do
+// real distribution work, small enough that construct overhead (the
+// thing the ratchet protects) still dominates the measurement.
+const loopN = 1024
+
+// regionOps bounds how many worksharing constructs run in one parallel
+// region: Pyjama's SPMD slot table grows with every construct, so an
+// unbounded measurement batch inside a single region would grow it
+// without limit. Batching regions keeps the table small and amortizes
+// region spawn to under regionOps^-1 of the measurement.
+const regionOps = 256
+
+// forOps runs body-with-an-ops-budget across fresh 4-thread regions
+// until n total worksharing constructs have executed per thread.
+func forOps(n int, run func(tc *pyjama.TC, ops int)) {
+	for done := 0; done < n; done += regionOps {
+		ops := regionOps
+		if n-done < ops {
+			ops = n - done
+		}
+		pyjama.Parallel(4, func(tc *pyjama.TC) { run(tc, ops) })
+	}
+}

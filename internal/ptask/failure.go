@@ -23,7 +23,6 @@ import (
 	"fmt"
 	"time"
 
-	"parc751/internal/core"
 	"parc751/internal/xrand"
 )
 
@@ -166,7 +165,8 @@ func RunAfterCtx[T any](rt *Runtime, ctx context.Context, deps []Dep, fn func(co
 	if o.deadline > 0 {
 		ctx, cancel = context.WithTimeout(ctx, o.deadline)
 	}
-	t := &Task[T]{rt: rt, fut: core.NewFuture[T](), depPolicy: o.dep, ctx: ctx, retry: o.retry}
+	fut := futurePoolFor[T]().Get()
+	t := &Task[T]{rt: rt, fut: fut, gen: fut.Gen(), depPolicy: o.dep, ctx: ctx, retry: o.retry}
 	t.body = func() (T, error) { return fn(ctx) }
 	t.state.Store(stateWaiting)
 	// An expiring context cancels a waiting/queued task outright; a

@@ -1,0 +1,57 @@
+package ptask
+
+import (
+	"reflect"
+	"sync"
+
+	"parc751/internal/core"
+)
+
+// futurePools holds one core.FuturePool per result type, so every task of
+// a given T draws from (and Release returns to) the same freelist. The
+// map is keyed by reflect.Type — Go generics give no per-instantiation
+// package state, and a sync.Map lookup on the hot path is one hash of an
+// interface word, far cheaper than the future allocation it saves.
+var futurePools sync.Map // reflect.Type → *core.FuturePool[T]
+
+// futurePoolFor returns the process-wide future freelist for result type T.
+func futurePoolFor[T any]() *core.FuturePool[T] {
+	key := reflect.TypeFor[T]()
+	if v, ok := futurePools.Load(key); ok {
+		return v.(*core.FuturePool[T])
+	}
+	v, _ := futurePools.LoadOrStore(key, &core.FuturePool[T]{})
+	return v.(*core.FuturePool[T])
+}
+
+// Release recycles the task's future envelope into the per-type freelist,
+// so a caller that joins many short-lived tasks in a loop reuses one
+// envelope instead of allocating one per task. It is strictly opt-in and
+// transfers ownership: the caller must hold the only live reference to
+// the task, and the task must be complete (Release panics otherwise, as
+// a parked waiter could still be on the future).
+//
+// After Release, the envelope's generation counter is bumped; any stale
+// use of this task — a second Result, Done, IsDone, or Release — panics
+// with a generation mismatch instead of silently reading whatever task
+// the recycled envelope now belongs to. That hard stop is the safety
+// contract that makes pooling futures tolerable at all.
+//
+// Task handles themselves are deliberately NOT pooled: they are
+// user-held objects, and recycling one while a caller retains the
+// pointer would alias two logical tasks onto one struct — corruption the
+// generation check could not always catch. The future envelope is the
+// allocation worth recycling; the handle stays garbage-collected.
+func (t *Task[T]) Release() {
+	t.fut.CheckGen(t.gen)
+	// Completion is checked before the released flag flips so that this
+	// panic leaves the handle untouched — the caller can join the task and
+	// Release it properly afterwards.
+	if !t.fut.IsDone() {
+		panic("ptask: Release of an incomplete task (join it first)")
+	}
+	if !t.released.CompareAndSwap(false, true) {
+		panic("ptask: Release called twice on the same task")
+	}
+	futurePoolFor[T]().Put(t.fut)
+}

@@ -126,6 +126,13 @@ type Task[T any] struct {
 	fut   *core.Future[T]
 	state atomic.Int32
 
+	// gen snapshots the pooled future envelope's recycle generation at
+	// acquisition; accessors re-check it so a handle whose envelope was
+	// Released and recycled panics instead of reading a successor task's
+	// result. released makes Release single-shot.
+	gen      uint64
+	released atomic.Bool
+
 	mu        sync.Mutex
 	callbacks []func()
 	waitDeps  int
@@ -149,7 +156,8 @@ func Run[T any](rt *Runtime, fn func() (T, error)) *Task[T] {
 // the propagating DepCancel policy). A nil or empty deps behaves like
 // Run.
 func RunAfter[T any](rt *Runtime, deps []Dep, fn func() (T, error)) *Task[T] {
-	t := &Task[T]{rt: rt, fut: core.NewFuture[T](), body: fn}
+	fut := futurePoolFor[T]().Get()
+	t := &Task[T]{rt: rt, fut: fut, gen: fut.Gen(), body: fn}
 	t.state.Store(stateWaiting)
 	t.wireDeps(deps)
 	return t
@@ -298,16 +306,28 @@ func (t *Task[T]) cancelWith(err error) bool {
 func (t *Task[T]) Cancelled() bool { return t.state.Load() == stateCancelled }
 
 // Done returns a channel closed when the task completes (or is cancelled).
-func (t *Task[T]) Done() <-chan struct{} { return t.fut.Done() }
+func (t *Task[T]) Done() <-chan struct{} {
+	t.fut.CheckGen(t.gen)
+	return t.fut.Done()
+}
 
 // IsDone reports completion without blocking.
-func (t *Task[T]) IsDone() bool { return t.fut.IsDone() }
+func (t *Task[T]) IsDone() bool {
+	t.fut.CheckGen(t.gen)
+	return t.fut.IsDone()
+}
 
 // Result joins the task: it blocks until completion and returns the value
 // and error. Called from inside another task it helps the pool, so
-// arbitrary recursive joins are safe.
+// arbitrary recursive joins are safe. Only the helping path materialises
+// the future's done channel — an external join, or one on an already
+// finished task, blocks (if at all) on the future's internal condition
+// and allocates nothing.
 func (t *Task[T]) Result() (T, error) {
-	t.rt.await(t.fut.Done())
+	t.fut.CheckGen(t.gen)
+	if !t.fut.IsDone() && t.rt.pool.OnWorker() {
+		t.rt.pool.Help(t.fut.Done())
+	}
 	return t.fut.Get()
 }
 

@@ -1,0 +1,72 @@
+package ptask
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestReleaseRecyclesEnvelope: a released task's future envelope comes
+// back out of the per-type pool for the next task, and every post-Release
+// use of the stale handle panics on the generation guard instead of
+// observing the successor task's result.
+func TestReleaseRecyclesEnvelope(t *testing.T) {
+	rt := NewRuntime(2)
+	defer rt.Shutdown()
+
+	a := Run(rt, func() (int, error) { return 41, nil })
+	if v, err := a.Result(); v != 41 || err != nil {
+		t.Fatalf("Result = (%d, %v), want (41, nil)", v, err)
+	}
+	a.Release()
+
+	// The envelope is recycled; a successor task may now own it.
+	b := Run(rt, func() (int, error) { return 99, nil })
+	if v, err := b.Result(); v != 99 || err != nil {
+		t.Fatalf("successor Result = (%d, %v), want (99, nil)", v, err)
+	}
+
+	for _, use := range []struct {
+		name string
+		fn   func()
+	}{
+		{"Result", func() { a.Result() }},
+		{"IsDone", func() { a.IsDone() }},
+		{"Done", func() { a.Done() }},
+		{"Release", func() { a.Release() }},
+	} {
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatalf("%s on a released task did not panic", use.name)
+				}
+				if s, ok := r.(string); ok && !strings.Contains(s, "generation") {
+					t.Fatalf("%s panic = %q, want a generation-guard panic", use.name, s)
+				}
+			}()
+			use.fn()
+		}()
+	}
+}
+
+// TestReleaseIncompletePanics: recycling an envelope a waiter could still
+// park on must fail loudly, not corrupt the pool.
+func TestReleaseIncompletePanics(t *testing.T) {
+	rt := NewRuntime(2)
+	defer rt.Shutdown()
+	gate := make(chan struct{})
+	task := Run(rt, func() (int, error) { <-gate; return 0, nil })
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("Release of an incomplete task did not panic")
+			}
+		}()
+		task.Release()
+	}()
+	close(gate)
+	if _, err := task.Result(); err != nil {
+		t.Fatalf("Result after failed Release: %v", err)
+	}
+	task.Release() // now legitimate
+}

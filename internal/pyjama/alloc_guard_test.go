@@ -1,0 +1,48 @@
+//go:build !race
+
+// Allocation-budget guard for the worksharing fast path: a
+// schedule(static) block-decomposed For must be pure arithmetic plus a
+// barrier — no loopState registration, no chunk closure, no heap traffic
+// at all (see staticFastChunk). Excluded under -race because the race
+// runtime's own instrumentation allocates.
+
+package pyjama
+
+import (
+	"runtime"
+	"testing"
+)
+
+// TestForStaticZeroAlloc measures tc.For(n, Static(0), body) inside one
+// long-lived parallel region. SPMD pairing demands that both team members
+// make identical worksharing calls, so BOTH threads run the same warmup
+// loop and the same AllocsPerRun(100, ...) — each makes the same number of
+// For calls (AllocsPerRun's warmup call included) and the loops stay
+// paired. Only thread 0's measurement is asserted; thread 1's is the same
+// code and exists for pairing.
+//
+// AllocsPerRun pins GOMAXPROCS to 1 during measurement and the two
+// concurrent restores can race, so the test re-asserts the original value
+// itself.
+func TestForStaticZeroAlloc(t *testing.T) {
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+	const n = 1 << 10
+	var got [2]float64
+	Parallel(2, func(tc *TC) {
+		sink := 0
+		// body is hoisted out of the measured closure: a fresh closure per
+		// call would be a per-op allocation of the test's own making.
+		body := func(i int) { sink += i }
+		for k := 0; k < 64; k++ {
+			tc.For(n, Static(0), body)
+		}
+		got[tc.id] = testing.AllocsPerRun(100, func() {
+			tc.For(n, Static(0), body)
+		})
+		_ = sink
+	})
+	if got[0] != 0 {
+		t.Fatalf("steady-state For(static) allocates %v objects/op, want 0", got[0])
+	}
+}

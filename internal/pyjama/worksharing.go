@@ -161,6 +161,12 @@ func (tc *TC) For(n int, sched Schedule, body func(i int)) {
 
 // ForNoWait is "#omp for nowait": no barrier at loop end.
 func (tc *TC) ForNoWait(n int, sched Schedule, body func(i int)) {
+	if c, fast := tc.staticFastChunk(n, sched); fast {
+		for i := c.Lo; i < c.Hi; i++ {
+			body(i)
+		}
+		return
+	}
 	tc.forEachChunk(n, sched, func(c core.Chunk) {
 		for i := c.Lo; i < c.Hi; i++ {
 			body(i)
@@ -171,8 +177,41 @@ func (tc *TC) ForNoWait(n int, sched Schedule, body func(i int)) {
 // ForChunked hands the body whole chunks instead of single indices, which
 // the kernels use to amortise per-iteration overhead. Implicit barrier.
 func (tc *TC) ForChunked(n int, sched Schedule, body func(lo, hi int)) {
-	tc.forEachChunk(n, sched, func(c core.Chunk) { body(c.Lo, c.Hi) })
+	if c, fast := tc.staticFastChunk(n, sched); fast {
+		if c.Len() > 0 {
+			body(c.Lo, c.Hi)
+		}
+	} else {
+		tc.forEachChunk(n, sched, func(c core.Chunk) { body(c.Lo, c.Hi) })
+	}
 	tc.Barrier()
+}
+
+// staticFastChunk is the allocation-free fast path for schedule(static)
+// with the default block decomposition: each thread's block is pure
+// arithmetic over (n, team, id), so no team-shared loop state is
+// registered at all — no loopState allocation on first arrival, no
+// slot-table traffic, and (because the caller runs the body directly
+// instead of through forEachChunk's chunk closure) no per-call closure.
+// fast is false when the schedule needs the general machinery. The slot
+// is still consumed so later constructs pair correctly; Ordered creates
+// the slot's state lazily if it needs the sequencing condvar. Debug mode
+// declines the fast path: the SPMD-mismatch check needs the registered
+// (n, sched) to compare against.
+func (tc *TC) staticFastChunk(n int, sched Schedule) (c core.Chunk, fast bool) {
+	resolved := sched.resolve()
+	if resolved.Kind != KindStatic || resolved.Chunk > 0 || spmdDebug.Load() {
+		return core.Chunk{}, false
+	}
+	tc.wsCount++
+	c, ok := core.StaticBlock(n, tc.reg.n, tc.id)
+	if !ok {
+		return core.Chunk{}, true // fast path, but no iterations for us
+	}
+	ctr := &tc.reg.counters[tc.id]
+	ctr.chunks++
+	ctr.iters += int64(c.Len())
+	return c, true
 }
 
 func (tc *TC) forEachChunk(n int, sched Schedule, run func(core.Chunk)) {
@@ -268,7 +307,14 @@ func (tc *TC) Ordered(i int, fn func()) {
 	if slot < 0 {
 		panic("pyjama: Ordered outside a worksharing loop")
 	}
-	ls := tc.reg.loops.get(slot)
+	// getOrCreate, not get: a static block-decomposed loop takes the
+	// registration-free fast path in forEachChunk, so the slot's shared
+	// state may not exist yet. The first Ordered arrival creates it (only
+	// the sequencing fields matter here) and slot pairing hands every
+	// team member the same instance.
+	ls, _ := tc.reg.loops.getOrCreate(slot, func() *loopState {
+		return newLoopState(0, Static(0), tc.reg.n)
+	})
 	ls.omu.Lock()
 	for ls.onext != i {
 		ls.ocond.Wait()

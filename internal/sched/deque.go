@@ -12,9 +12,9 @@ package sched
 
 import "sync/atomic"
 
-// Deque is a double-ended work queue. The owner worker uses PushBottom and
-// PopBottom (LIFO); thieves use Steal, which removes from the top (FIFO
-// relative to the owner's pushes).
+// Deque is a double-ended work queue over *T elements. The owner worker
+// uses PushBottom and PopBottom (LIFO); thieves use Steal or StealInto,
+// which remove from the top (FIFO relative to the owner's pushes).
 //
 // The implementation is the lock-free Chase–Lev deque [Chase & Lev, SPAA
 // 2005]: top and bottom are atomic indices into a circular array, thieves
@@ -26,6 +26,12 @@ import "sync/atomic"
 // Steal is safe from any number of concurrent thieves. Element slots are
 // atomic pointers, so the implementation is safe under the Go memory
 // model and clean under the race detector without unsafe code.
+//
+// Elements are passed and stored as *T pointers: pushing does not box the
+// value, so a caller that recycles its element objects (the pool's task
+// envelopes) keeps the push/pop/steal cycle allocation-free. This is what
+// makes the scheduler's zero-allocation steady state possible — the old
+// by-value API heap-boxed every pushed element.
 type Deque[T any] struct {
 	top    atomic.Int64
 	bottom atomic.Int64
@@ -34,6 +40,8 @@ type Deque[T any] struct {
 	pushes      atomic.Int64
 	pops        atomic.Int64
 	steals      atomic.Int64
+	batches     atomic.Int64 // StealInto calls that moved at least one extra
+	batchMoved  atomic.Int64 // elements transferred into thief deques
 	failedPops  atomic.Int64
 	failedSteal atomic.Int64
 }
@@ -59,6 +67,8 @@ type DequeStats struct {
 	Pushes      int64
 	Pops        int64
 	Steals      int64
+	BatchSteals int64 // steal-half rounds that transferred extra elements
+	BatchMoved  int64 // elements moved into thief deques by those rounds
 	FailedPops  int64
 	FailedSteal int64
 }
@@ -87,14 +97,14 @@ func (d *Deque[T]) Len() int {
 }
 
 // PushBottom adds an item at the owner's end. Owner-only.
-func (d *Deque[T]) PushBottom(v T) {
+func (d *Deque[T]) PushBottom(v *T) {
 	b := d.bottom.Load()
 	t := d.top.Load()
 	r := d.ring.Load()
 	if b-t >= int64(len(r.slot)) {
 		r = d.grow(r, t, b)
 	}
-	r.store(b, &v)
+	r.store(b, v)
 	d.bottom.Store(b + 1)
 	d.pushes.Add(1)
 }
@@ -111,9 +121,8 @@ func (d *Deque[T]) grow(old *ring[T], t, b int64) *ring[T] {
 }
 
 // PopBottom removes and returns the most recently pushed item (LIFO).
-// The second result is false if the deque was empty. Owner-only.
-func (d *Deque[T]) PopBottom() (T, bool) {
-	var zero T
+// The second result is nil, false if the deque was empty. Owner-only.
+func (d *Deque[T]) PopBottom() (*T, bool) {
 	b := d.bottom.Load() - 1
 	r := d.ring.Load()
 	d.bottom.Store(b)
@@ -122,7 +131,7 @@ func (d *Deque[T]) PopBottom() (T, bool) {
 		// Deque was empty; restore the canonical empty state.
 		d.bottom.Store(t)
 		d.failedPops.Add(1)
-		return zero, false
+		return nil, false
 	}
 	vp := r.load(b)
 	if t == b {
@@ -130,37 +139,91 @@ func (d *Deque[T]) PopBottom() (T, bool) {
 		if !d.top.CompareAndSwap(t, t+1) {
 			d.bottom.Store(t + 1)
 			d.failedPops.Add(1)
-			return zero, false
+			return nil, false
 		}
 		d.bottom.Store(t + 1)
 		d.pops.Add(1)
-		return *vp, true
+		return vp, true
 	}
 	// More than one element left: the bottom end is owner-exclusive.
 	r.store(b, nil)
 	d.pops.Add(1)
-	return *vp, true
+	return vp, true
 }
 
 // Steal removes and returns the oldest item (FIFO end), as a thief would.
 // The second result is false if the deque was empty or the thief lost a
 // race for the element. Safe from any goroutine.
-func (d *Deque[T]) Steal() (T, bool) {
-	var zero T
+func (d *Deque[T]) Steal() (*T, bool) {
 	t := d.top.Load()
 	b := d.bottom.Load()
 	if t >= b {
 		d.failedSteal.Add(1)
-		return zero, false
+		return nil, false
 	}
 	r := d.ring.Load()
 	vp := r.load(t)
 	if !d.top.CompareAndSwap(t, t+1) {
 		d.failedSteal.Add(1)
-		return zero, false
+		return nil, false
 	}
 	d.steals.Add(1)
-	return *vp, true
+	return vp, true
+}
+
+// stealHalfCap bounds how many elements one StealInto round may move. A
+// small cap keeps a thief from draining a victim that is about to need
+// its own work back, while still amortising the steal round-trip.
+const stealHalfCap = 16
+
+// StealInto is steal-half batch stealing: it transfers up to half of the
+// victim's visible load (capped at stealHalfCap) in one round, returning
+// the first stolen element for immediate execution and pushing the rest
+// onto dst — the thief's own deque, where siblings can re-steal them.
+// dst must be owned by the calling goroutine (thief-side owner ops); pass
+// nil to steal a single element.
+//
+// Each element is still claimed with its own CAS on top. A single-CAS
+// range claim (top += k) looks tempting but is unsound against this
+// owner protocol: the owner pops interior elements without touching top
+// and recycles their slots on subsequent pushes, so a range claim can
+// take an element the owner already executed or strand a freshly pushed
+// one below top. Hendler & Shavit's steal-half algorithm exists to close
+// exactly that hole, at the cost of a far heavier owner path; since the
+// per-element CASes after the first land on an exclusively held cache
+// line, the batch win lives in saved scheduler round trips and wakeups,
+// not in CAS count — so the simple, provably conservative claim loop is
+// the better trade.
+func (d *Deque[T]) StealInto(dst *Deque[T]) (*T, bool) {
+	first, ok := d.Steal()
+	if !ok || dst == nil {
+		return first, ok
+	}
+	// Claim up to half of what remains visible after the first steal.
+	t := d.top.Load()
+	b := d.bottom.Load()
+	n := b - t
+	if n <= 0 {
+		return first, true
+	}
+	k := (n + 1) / 2
+	if k > stealHalfCap {
+		k = stealHalfCap
+	}
+	moved := int64(0)
+	for i := int64(0); i < k; i++ {
+		v, ok := d.Steal()
+		if !ok {
+			break // victim drained or a sibling thief won the race
+		}
+		dst.PushBottom(v)
+		moved++
+	}
+	if moved > 0 {
+		d.batches.Add(1)
+		d.batchMoved.Add(moved)
+	}
+	return first, true
 }
 
 // Stats returns a snapshot of the deque's traffic counters.
@@ -169,6 +232,8 @@ func (d *Deque[T]) Stats() DequeStats {
 		Pushes:      d.pushes.Load(),
 		Pops:        d.pops.Load(),
 		Steals:      d.steals.Load(),
+		BatchSteals: d.batches.Load(),
+		BatchMoved:  d.batchMoved.Load(),
 		FailedPops:  d.failedPops.Load(),
 		FailedSteal: d.failedSteal.Load(),
 	}

@@ -3,16 +3,20 @@
 //
 //   - FuzzDequeOps model-checks the sequential contract against a plain
 //     slice: any interleaving of owner pushes and pops plus (on the
-//     owner goroutine, hence race-free) steals must behave like a
-//     double-ended queue — pops LIFO from the bottom, steals FIFO from
-//     the top.
+//     owner goroutine, hence race-free) steals and batch steals must
+//     behave like a double-ended queue — pops LIFO from the bottom,
+//     steals FIFO from the top, and StealInto a FIFO prefix transfer.
 //   - FuzzDequeConcurrent drives the real concurrent shape — one owner
-//     pushing and popping, several thieves stealing — and checks the
-//     conservation law that makes work stealing correct: every pushed
-//     task is extracted exactly once (nothing lost, nothing duplicated).
+//     pushing and popping, several thieves stealing (half of them in
+//     batches via StealInto) — and checks the conservation law that
+//     makes work stealing correct: every pushed task is extracted
+//     exactly once (nothing lost, nothing duplicated).
 //
 // Seed corpora live in testdata/fuzz/<target>/; plain `go test` replays
-// them automatically, so CI exercises both targets without -fuzz.
+// them automatically, so CI exercises both targets without -fuzz. The
+// committed seeds are ASCII-digit programs, so moving from op%3 to op%4
+// left every existing seed's meaning unchanged ('0'..'2' map to the same
+// ops mod 3 and mod 4); '3' bytes now reach the batch-steal path.
 package sched
 
 import (
@@ -21,14 +25,19 @@ import (
 )
 
 // FuzzDequeOps interprets ops as a program over the deque and a model
-// slice: byte%3==0 → PushBottom, ==1 → PopBottom, ==2 → Steal. All ops
-// run on one goroutine — Steal is linearizable from anywhere, and the
-// owner calling it gives a deterministic sequential model.
+// slice: byte%4==0 → PushBottom, ==1 → PopBottom, ==2 → Steal,
+// ==3 → StealInto a scratch deque (drained and checked immediately).
+// All ops run on one goroutine — Steal/StealInto are linearizable from
+// anywhere, and the owner calling them gives a deterministic sequential
+// model: with no racing thieves, StealInto must move exactly the first
+// element plus half the remainder (capped), in FIFO order.
 func FuzzDequeOps(f *testing.F) {
 	f.Add([]byte{0, 0, 1, 2, 0, 2, 1})
 	f.Add([]byte{0, 1, 0, 1, 0, 1})
 	f.Add([]byte{0, 0, 0, 0, 2, 2, 2, 2})
 	f.Add([]byte{2, 1, 0})
+	f.Add([]byte{0, 0, 0, 0, 0, 3, 1, 3, 2})
+	f.Add([]byte("000000000000000000000000000000000000000033"))
 	// Push storms drive growth past the initial ring capacity.
 	grow := make([]byte, 300)
 	for i := range grow {
@@ -40,16 +49,17 @@ func FuzzDequeOps(f *testing.F) {
 		var model []int       // model[0] is the top (steal end)
 		next := 0
 		for pc, op := range ops {
-			switch op % 3 {
+			switch op % 4 {
 			case 0:
-				d.PushBottom(next)
+				v := next
+				d.PushBottom(&v)
 				model = append(model, next)
 				next++
 			case 1:
 				v, ok := d.PopBottom()
 				if len(model) == 0 {
 					if ok {
-						t.Fatalf("op %d: PopBottom returned %d from an empty deque", pc, v)
+						t.Fatalf("op %d: PopBottom returned %d from an empty deque", pc, *v)
 					}
 					continue
 				}
@@ -57,15 +67,15 @@ func FuzzDequeOps(f *testing.F) {
 				if !ok {
 					t.Fatalf("op %d: PopBottom empty, model has %d items", pc, len(model))
 				}
-				if v != want {
-					t.Fatalf("op %d: PopBottom = %d, want LIFO %d", pc, v, want)
+				if *v != want {
+					t.Fatalf("op %d: PopBottom = %d, want LIFO %d", pc, *v, want)
 				}
 				model = model[:len(model)-1]
 			case 2:
 				v, ok := d.Steal()
 				if len(model) == 0 {
 					if ok {
-						t.Fatalf("op %d: Steal returned %d from an empty deque", pc, v)
+						t.Fatalf("op %d: Steal returned %d from an empty deque", pc, *v)
 					}
 					continue
 				}
@@ -73,10 +83,41 @@ func FuzzDequeOps(f *testing.F) {
 				if !ok {
 					t.Fatalf("op %d: Steal empty, model has %d items", pc, len(model))
 				}
-				if v != want {
-					t.Fatalf("op %d: Steal = %d, want FIFO %d", pc, v, want)
+				if *v != want {
+					t.Fatalf("op %d: Steal = %d, want FIFO %d", pc, *v, want)
 				}
 				model = model[1:]
+			case 3:
+				dst := NewDeque[int](8)
+				v, ok := d.StealInto(dst)
+				if len(model) == 0 {
+					if ok {
+						t.Fatalf("op %d: StealInto returned %d from an empty deque", pc, *v)
+					}
+					continue
+				}
+				if !ok {
+					t.Fatalf("op %d: StealInto empty, model has %d items", pc, len(model))
+				}
+				if *v != model[0] {
+					t.Fatalf("op %d: StealInto first = %d, want FIFO %d", pc, *v, model[0])
+				}
+				// With no racing thieves the batch size is deterministic:
+				// half of what remained after the first, capped.
+				wantMoved := len(model) / 2
+				if wantMoved > stealHalfCap {
+					wantMoved = stealHalfCap
+				}
+				if dst.Len() != wantMoved {
+					t.Fatalf("op %d: StealInto moved %d, want %d (model %d)", pc, dst.Len(), wantMoved, len(model))
+				}
+				for i := 1; i <= wantMoved; i++ {
+					mv, ok := dst.Steal()
+					if !ok || *mv != model[i] {
+						t.Fatalf("op %d: batch order broken at %d: got %v,%v want %d", pc, i, mv, ok, model[i])
+					}
+				}
+				model = model[1+wantMoved:]
 			}
 			if got, want := d.Len(), len(model); got != want {
 				t.Fatalf("op %d: Len = %d, model %d", pc, got, want)
@@ -85,8 +126,8 @@ func FuzzDequeOps(f *testing.F) {
 		// Drain and check the leftover suffix in steal (FIFO) order.
 		for _, want := range model {
 			v, ok := d.Steal()
-			if !ok || v != want {
-				t.Fatalf("drain: Steal = (%d, %v), want (%d, true)", v, ok, want)
+			if !ok || *v != want {
+				t.Fatalf("drain: Steal = (%v, %v), want (%d, true)", v, ok, want)
 			}
 		}
 		if _, ok := d.Steal(); ok {
@@ -96,9 +137,10 @@ func FuzzDequeOps(f *testing.F) {
 }
 
 // FuzzDequeConcurrent: ops drives the owner (push/pop mix and pacing)
-// while nthieves goroutines steal continuously. Afterwards the multiset
-// of extracted values must be exactly {0..pushed-1}: no task lost, none
-// run twice.
+// while nthieves goroutines steal continuously — even-numbered thieves
+// one at a time, odd-numbered thieves in batches through their own dst
+// deque. Afterwards the multiset of extracted values must be exactly
+// {0..pushed-1}: no task lost, none run twice.
 func FuzzDequeConcurrent(f *testing.F) {
 	f.Add([]byte{0, 0, 0, 1, 0, 0, 1, 1}, uint8(2))
 	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0}, uint8(4))
@@ -125,12 +167,30 @@ func FuzzDequeConcurrent(f *testing.F) {
 		done := make(chan struct{})
 		var wg sync.WaitGroup
 		for i := 0; i < thieves; i++ {
+			batch := i%2 == 1
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
+				var dst *Deque[int]
+				if batch {
+					dst = NewDeque[int](8)
+				}
+				drain := func() {
+					if dst == nil {
+						return
+					}
+					for {
+						v, ok := dst.PopBottom()
+						if !ok {
+							return
+						}
+						take(*v)
+					}
+				}
 				for {
-					if v, ok := d.Steal(); ok {
-						take(v)
+					if v, ok := d.StealInto(dst); ok {
+						take(*v)
+						drain()
 						continue
 					}
 					select {
@@ -138,11 +198,13 @@ func FuzzDequeConcurrent(f *testing.F) {
 						// One last sweep: the owner may have pushed between
 						// our failed steal and the close.
 						for {
-							v, ok := d.Steal()
+							v, ok := d.StealInto(dst)
 							if !ok {
+								drain()
 								return
 							}
-							take(v)
+							take(*v)
+							drain()
 						}
 					default:
 					}
@@ -153,11 +215,12 @@ func FuzzDequeConcurrent(f *testing.F) {
 		pushed := 0
 		for _, op := range ops {
 			if op%2 == 0 {
-				d.PushBottom(pushed)
+				v := pushed
+				d.PushBottom(&v)
 				pushed++
 			} else {
 				if v, ok := d.PopBottom(); ok {
-					take(v)
+					take(*v)
 				}
 			}
 		}
@@ -167,7 +230,7 @@ func FuzzDequeConcurrent(f *testing.F) {
 			if !ok {
 				break
 			}
-			take(v)
+			take(*v)
 		}
 		close(done)
 		wg.Wait()

@@ -4,38 +4,61 @@ import "sync"
 
 // FIFO is a mutex-protected unbounded FIFO queue: the "global queue"
 // baseline that the work-stealing ablation (A1 in DESIGN.md) compares
-// against. Every worker contends on one lock, which is exactly the
-// bottleneck the ablation demonstrates.
+// against, and the pool's landing spot for external submissions. Every
+// worker contends on one lock, which is exactly the bottleneck the
+// ablation demonstrates.
+//
+// Storage is a power-of-two circular buffer: head and tail chase each
+// other around a ring that only grows when the live count exceeds the
+// capacity, so a steady-state producer/consumer pair allocates nothing
+// (the old slice-append form leaked an amortised allocation per
+// compaction).
 type FIFO[T any] struct {
 	mu   sync.Mutex
-	buf  []T
-	head int
+	buf  []T // len(buf) is a power of two (or 0 before first Push)
+	head int // index of the oldest element
+	n    int // live element count
 }
 
 // Push appends v to the tail of the queue.
 func (q *FIFO[T]) Push(v T) {
 	q.mu.Lock()
-	q.buf = append(q.buf, v)
+	if q.n == len(q.buf) {
+		q.growLocked()
+	}
+	q.buf[(q.head+q.n)&(len(q.buf)-1)] = v
+	q.n++
 	q.mu.Unlock()
+}
+
+// growLocked doubles the ring (minimum 8), unwrapping the live elements
+// to the front of the new buffer.
+func (q *FIFO[T]) growLocked() {
+	ncap := 2 * len(q.buf)
+	if ncap < 8 {
+		ncap = 8
+	}
+	nb := make([]T, ncap)
+	for i := 0; i < q.n; i++ {
+		nb[i] = q.buf[(q.head+i)&(len(q.buf)-1)]
+	}
+	q.buf = nb
+	q.head = 0
 }
 
 // Pop removes the oldest element; ok is false when the queue is empty.
 func (q *FIFO[T]) Pop() (v T, ok bool) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	if q.head == len(q.buf) {
+	if q.n == 0 {
 		var zero T
 		return zero, false
 	}
 	v = q.buf[q.head]
 	var zero T
-	q.buf[q.head] = zero
-	q.head++
-	// Reclaim space once the consumed prefix dominates.
-	if q.head > 64 && q.head*2 > len(q.buf) {
-		q.buf = append([]T(nil), q.buf[q.head:]...)
-		q.head = 0
-	}
+	q.buf[q.head] = zero // release the element to the GC
+	q.head = (q.head + 1) & (len(q.buf) - 1)
+	q.n--
 	return v, true
 }
 
@@ -43,7 +66,7 @@ func (q *FIFO[T]) Pop() (v T, ok bool) {
 func (q *FIFO[T]) Len() int {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	return len(q.buf) - q.head
+	return q.n
 }
 
 // Victim selection: when a worker's own deque is empty it picks other

@@ -6,15 +6,18 @@ import (
 	"testing/quick"
 )
 
+// ptr boxes a test value for the pointer-element deque API.
+func ptr(v int) *int { return &v }
+
 func TestDequeLIFOOwner(t *testing.T) {
 	d := NewDeque[int](4)
 	for i := 0; i < 10; i++ {
-		d.PushBottom(i)
+		d.PushBottom(ptr(i))
 	}
 	for i := 9; i >= 0; i-- {
 		v, ok := d.PopBottom()
-		if !ok || v != i {
-			t.Fatalf("PopBottom = %d,%v want %d", v, ok, i)
+		if !ok || *v != i {
+			t.Fatalf("PopBottom = %v,%v want %d", v, ok, i)
 		}
 	}
 	if _, ok := d.PopBottom(); ok {
@@ -25,12 +28,12 @@ func TestDequeLIFOOwner(t *testing.T) {
 func TestDequeFIFOThief(t *testing.T) {
 	d := NewDeque[int](4)
 	for i := 0; i < 10; i++ {
-		d.PushBottom(i)
+		d.PushBottom(ptr(i))
 	}
 	for i := 0; i < 10; i++ {
 		v, ok := d.Steal()
-		if !ok || v != i {
-			t.Fatalf("Steal = %d,%v want %d", v, ok, i)
+		if !ok || *v != i {
+			t.Fatalf("Steal = %v,%v want %d", v, ok, i)
 		}
 	}
 	if _, ok := d.Steal(); ok {
@@ -40,17 +43,17 @@ func TestDequeFIFOThief(t *testing.T) {
 
 func TestDequeMixedEnds(t *testing.T) {
 	d := NewDeque[int](2)
-	d.PushBottom(1)
-	d.PushBottom(2)
-	d.PushBottom(3)
-	if v, _ := d.Steal(); v != 1 {
-		t.Fatalf("steal got %d, want 1", v)
+	d.PushBottom(ptr(1))
+	d.PushBottom(ptr(2))
+	d.PushBottom(ptr(3))
+	if v, ok := d.Steal(); !ok || *v != 1 {
+		t.Fatalf("steal got %v, want 1", v)
 	}
-	if v, _ := d.PopBottom(); v != 3 {
-		t.Fatalf("pop got %d, want 3", v)
+	if v, ok := d.PopBottom(); !ok || *v != 3 {
+		t.Fatalf("pop got %v, want 3", v)
 	}
-	if v, _ := d.Steal(); v != 2 {
-		t.Fatalf("steal got %d, want 2", v)
+	if v, ok := d.Steal(); !ok || *v != 2 {
+		t.Fatalf("steal got %v, want 2", v)
 	}
 	if d.Len() != 0 {
 		t.Fatalf("Len = %d", d.Len())
@@ -64,12 +67,12 @@ func TestDequeGrowthPreservesOrder(t *testing.T) {
 	expectSteal := 0
 	for round := 0; round < 50; round++ {
 		for i := 0; i < 3; i++ {
-			d.PushBottom(next)
+			d.PushBottom(ptr(next))
 			next++
 		}
 		v, ok := d.Steal()
-		if !ok || v != expectSteal {
-			t.Fatalf("round %d: steal = %d,%v want %d", round, v, ok, expectSteal)
+		if !ok || *v != expectSteal {
+			t.Fatalf("round %d: steal = %v,%v want %d", round, v, ok, expectSteal)
 		}
 		expectSteal++
 	}
@@ -80,10 +83,10 @@ func TestDequeGrowthPreservesOrder(t *testing.T) {
 		if !ok {
 			break
 		}
-		if v != prev+1 {
-			t.Fatalf("steal order broken: got %d after %d", v, prev)
+		if *v != prev+1 {
+			t.Fatalf("steal order broken: got %d after %d", *v, prev)
 		}
-		prev = v
+		prev = *v
 	}
 }
 
@@ -98,22 +101,22 @@ func TestDequeConservation(t *testing.T) {
 		for _, op := range ops {
 			switch op % 3 {
 			case 0:
-				d.PushBottom(next)
+				d.PushBottom(ptr(next))
 				pushed[next] = true
 				next++
 			case 1:
 				if v, ok := d.PopBottom(); ok {
-					if removed[v] || !pushed[v] {
+					if removed[*v] || !pushed[*v] {
 						return false
 					}
-					removed[v] = true
+					removed[*v] = true
 				}
 			case 2:
 				if v, ok := d.Steal(); ok {
-					if removed[v] || !pushed[v] {
+					if removed[*v] || !pushed[*v] {
 						return false
 					}
-					removed[v] = true
+					removed[*v] = true
 				}
 			}
 		}
@@ -122,10 +125,10 @@ func TestDequeConservation(t *testing.T) {
 			if !ok {
 				break
 			}
-			if removed[v] || !pushed[v] {
+			if removed[*v] || !pushed[*v] {
 				return false
 			}
-			removed[v] = true
+			removed[*v] = true
 		}
 		return len(removed) == len(pushed)
 	}
@@ -144,11 +147,11 @@ func TestDequeConcurrentOwnerAndThieves(t *testing.T) {
 	go func() {
 		defer wg.Done()
 		for i := 0; i < n; i++ {
-			d.PushBottom(i)
+			d.PushBottom(ptr(i))
 			if i%2 == 1 {
 				if v, ok := d.PopBottom(); ok {
-					if _, dup := got.LoadOrStore(v, true); dup {
-						t.Errorf("duplicate element %d", v)
+					if _, dup := got.LoadOrStore(*v, true); dup {
+						t.Errorf("duplicate element %d", *v)
 					}
 				}
 			}
@@ -161,8 +164,8 @@ func TestDequeConcurrentOwnerAndThieves(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < n; i++ {
 				if v, ok := d.Steal(); ok {
-					if _, dup := got.LoadOrStore(v, true); dup {
-						t.Errorf("duplicate stolen element %d", v)
+					if _, dup := got.LoadOrStore(*v, true); dup {
+						t.Errorf("duplicate stolen element %d", *v)
 					}
 				}
 			}
@@ -175,8 +178,8 @@ func TestDequeConcurrentOwnerAndThieves(t *testing.T) {
 		if !ok {
 			break
 		}
-		if _, dup := got.LoadOrStore(v, true); dup {
-			t.Errorf("duplicate drained element %d", v)
+		if _, dup := got.LoadOrStore(*v, true); dup {
+			t.Errorf("duplicate drained element %d", *v)
 		}
 	}
 	count := 0
@@ -188,8 +191,8 @@ func TestDequeConcurrentOwnerAndThieves(t *testing.T) {
 
 func TestDequeStats(t *testing.T) {
 	d := NewDeque[int](2)
-	d.PushBottom(1)
-	d.PushBottom(2)
+	d.PushBottom(ptr(1))
+	d.PushBottom(ptr(2))
 	d.PopBottom()
 	d.Steal()
 	d.Steal() // fails
@@ -197,6 +200,161 @@ func TestDequeStats(t *testing.T) {
 	s := d.Stats()
 	if s.Pushes != 2 || s.Pops != 1 || s.Steals != 1 || s.FailedSteal != 1 || s.FailedPops != 1 {
 		t.Fatalf("stats = %+v", s)
+	}
+}
+
+// ---- StealInto (steal-half batch transfer) ----
+
+// StealInto with a nil destination degrades to a single steal.
+func TestStealIntoNilDestIsSteal(t *testing.T) {
+	d := NewDeque[int](4)
+	for i := 0; i < 5; i++ {
+		d.PushBottom(ptr(i))
+	}
+	v, ok := d.StealInto(nil)
+	if !ok || *v != 0 {
+		t.Fatalf("StealInto(nil) = %v,%v want 0", v, ok)
+	}
+	if d.Len() != 4 {
+		t.Fatalf("Len = %d after single steal, want 4", d.Len())
+	}
+	if s := d.Stats(); s.BatchSteals != 0 || s.BatchMoved != 0 {
+		t.Fatalf("nil-dest steal counted as a batch: %+v", s)
+	}
+}
+
+// A batch round takes the first element plus at most half the remainder
+// (capped), all in FIFO order, into the thief's own deque.
+func TestStealIntoTakesHalfInOrder(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 7, 8, 40, 100} {
+		victim := NewDeque[int](4)
+		dst := NewDeque[int](4)
+		for i := 0; i < n; i++ {
+			victim.PushBottom(ptr(i))
+		}
+		first, ok := victim.StealInto(dst)
+		if !ok || *first != 0 {
+			t.Fatalf("n=%d: first = %v,%v want 0", n, first, ok)
+		}
+		wantMoved := (n - 1 + 1) / 2 // half of what remained after the first
+		if wantMoved > stealHalfCap {
+			wantMoved = stealHalfCap
+		}
+		if dst.Len() != wantMoved {
+			t.Fatalf("n=%d: dst.Len = %d want %d", n, dst.Len(), wantMoved)
+		}
+		// Transferred elements keep FIFO order in the thief's deque.
+		for i := 1; i <= wantMoved; i++ {
+			v, ok := dst.Steal()
+			if !ok || *v != i {
+				t.Fatalf("n=%d: dst order broken: got %v,%v want %d", n, v, ok, i)
+			}
+		}
+		if victim.Len() != n-1-wantMoved {
+			t.Fatalf("n=%d: victim.Len = %d want %d", n, victim.Len(), n-1-wantMoved)
+		}
+		s := victim.Stats()
+		if wantMoved > 0 && (s.BatchSteals != 1 || s.BatchMoved != int64(wantMoved)) {
+			t.Fatalf("n=%d: batch stats = %+v want 1 round, %d moved", n, s, wantMoved)
+		}
+	}
+}
+
+func TestStealIntoEmptyVictim(t *testing.T) {
+	victim := NewDeque[int](4)
+	dst := NewDeque[int](4)
+	if v, ok := victim.StealInto(dst); ok {
+		t.Fatalf("StealInto on empty deque returned %v", v)
+	}
+	if dst.Len() != 0 {
+		t.Fatalf("dst gained %d elements from an empty victim", dst.Len())
+	}
+}
+
+// Property: batch stealing conserves elements under a concurrent owner
+// and multiple batch thieves — every push extracted exactly once across
+// the owner's pops, the thieves' firsts, and the thieves' dst deques.
+func TestStealIntoConcurrentConservation(t *testing.T) {
+	f := func(script []uint8, nthieves uint8) bool {
+		victim := NewDeque[int](2)
+		thieves := int(nthieves%3) + 1
+		if len(script) < 16 {
+			script = append(script, 0, 0, 0, 1, 0, 0, 0, 0, 1, 0, 0, 0, 0, 0, 1, 0)
+		}
+		var mu sync.Mutex
+		got := map[int]int{}
+		take := func(v int) {
+			mu.Lock()
+			got[v]++
+			mu.Unlock()
+		}
+		stop := make(chan struct{})
+		var wg sync.WaitGroup
+		for th := 0; th < thieves; th++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				dst := NewDeque[int](8) // this thief's own deque
+				drain := func() {
+					for {
+						v, ok := dst.PopBottom()
+						if !ok {
+							return
+						}
+						take(*v)
+					}
+				}
+				for {
+					if v, ok := victim.StealInto(dst); ok {
+						take(*v)
+						drain()
+						continue
+					}
+					select {
+					case <-stop:
+						drain()
+						return
+					default:
+					}
+				}
+			}()
+		}
+		pushed := 0
+		for _, op := range script {
+			if op%3 != 2 {
+				victim.PushBottom(ptr(pushed))
+				pushed++
+			} else if v, ok := victim.PopBottom(); ok {
+				take(*v)
+			}
+		}
+		for {
+			v, ok := victim.PopBottom()
+			if !ok {
+				break
+			}
+			take(*v)
+		}
+		close(stop)
+		wg.Wait()
+		for {
+			v, ok := victim.Steal()
+			if !ok {
+				break
+			}
+			take(*v)
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		for v := 0; v < pushed; v++ {
+			if got[v] != 1 {
+				return false
+			}
+		}
+		return len(got) == pushed
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
 	}
 }
 
@@ -221,7 +379,7 @@ func TestFIFOOrder(t *testing.T) {
 
 func TestFIFOCompaction(t *testing.T) {
 	var q FIFO[int]
-	// Push and pop enough to trigger the compaction path.
+	// Push and pop enough to exercise growth and wrap-around.
 	for i := 0; i < 1000; i++ {
 		q.Push(i)
 	}
@@ -239,6 +397,23 @@ func TestFIFOCompaction(t *testing.T) {
 		if !ok || v != i {
 			t.Fatalf("Pop = %d,%v want %d", v, ok, i)
 		}
+	}
+}
+
+// A steady-state producer/consumer pair must not allocate once the ring
+// has warmed up (the ring only grows when live count exceeds capacity).
+func TestFIFOSteadyStateNoGrowth(t *testing.T) {
+	var q FIFO[int]
+	for i := 0; i < 4; i++ {
+		q.Push(i)
+	}
+	capBefore := len(q.buf)
+	for i := 0; i < 10000; i++ {
+		q.Push(i)
+		q.Pop()
+	}
+	if len(q.buf) != capBefore {
+		t.Fatalf("ring grew from %d to %d under steady state", capBefore, len(q.buf))
 	}
 }
 
@@ -328,16 +503,19 @@ func TestRandomVictimsDeterministic(t *testing.T) {
 
 func BenchmarkDequePushPop(b *testing.B) {
 	d := NewDeque[int](1024)
+	v := new(int)
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		d.PushBottom(i)
+		d.PushBottom(v)
 		d.PopBottom()
 	}
 }
 
 func BenchmarkDequeSteal(b *testing.B) {
 	d := NewDeque[int](1024)
+	v := new(int)
 	for i := 0; i < b.N; i++ {
-		d.PushBottom(i)
+		d.PushBottom(v)
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -347,6 +525,7 @@ func BenchmarkDequeSteal(b *testing.B) {
 
 func BenchmarkFIFO(b *testing.B) {
 	var q FIFO[int]
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		q.Push(i)
 		q.Pop()
@@ -366,7 +545,7 @@ func TestDequeMatchesReferenceModel(t *testing.T) {
 		for _, op := range ops {
 			switch op % 4 {
 			case 0, 1:
-				d.PushBottom(next)
+				d.PushBottom(ptr(next))
 				model = append(model, next)
 				next++
 			case 2:
@@ -377,7 +556,7 @@ func TestDequeMatchesReferenceModel(t *testing.T) {
 				if ok {
 					want := model[len(model)-1]
 					model = model[:len(model)-1]
-					if v != want {
+					if *v != want {
 						return false
 					}
 				}
@@ -389,7 +568,7 @@ func TestDequeMatchesReferenceModel(t *testing.T) {
 				if ok {
 					want := model[0]
 					model = model[1:]
-					if v != want {
+					if *v != want {
 						return false
 					}
 				}
@@ -424,11 +603,11 @@ func TestDequeConcurrentConservationQuick(t *testing.T) {
 				prev := -1
 				for {
 					if v, ok := d.Steal(); ok {
-						if v <= prev {
-							t.Errorf("thief %d stole %d after %d", th, v, prev)
+						if *v <= prev {
+							t.Errorf("thief %d stole %d after %d", th, *v, prev)
 						}
-						prev = v
-						taken[th] = append(taken[th], v)
+						prev = *v
+						taken[th] = append(taken[th], *v)
 						continue
 					}
 					select {
@@ -442,10 +621,10 @@ func TestDequeConcurrentConservationQuick(t *testing.T) {
 		pushed := 0
 		for _, op := range script {
 			if op%3 != 2 {
-				d.PushBottom(pushed)
+				d.PushBottom(ptr(pushed))
 				pushed++
 			} else if v, ok := d.PopBottom(); ok {
-				taken[0] = append(taken[0], v)
+				taken[0] = append(taken[0], *v)
 			}
 		}
 		// Drain remaining as the owner, then stop the thieves.
@@ -454,7 +633,7 @@ func TestDequeConcurrentConservationQuick(t *testing.T) {
 			if !ok {
 				break
 			}
-			taken[0] = append(taken[0], v)
+			taken[0] = append(taken[0], *v)
 		}
 		close(stop)
 		wg.Wait()
@@ -464,7 +643,7 @@ func TestDequeConcurrentConservationQuick(t *testing.T) {
 			if !ok {
 				break
 			}
-			taken[0] = append(taken[0], v)
+			taken[0] = append(taken[0], *v)
 		}
 		seen := make(map[int]bool, pushed)
 		for _, tk := range taken {
@@ -496,8 +675,8 @@ func TestDequeGrowthUnderConcurrentSteals(t *testing.T) {
 			defer wg.Done()
 			for {
 				if v, ok := d.Steal(); ok {
-					if _, dup := stolen.LoadOrStore(v, true); dup {
-						t.Errorf("duplicate %d", v)
+					if _, dup := stolen.LoadOrStore(*v, true); dup {
+						t.Errorf("duplicate %d", *v)
 					}
 					continue
 				}
@@ -510,11 +689,11 @@ func TestDequeGrowthUnderConcurrentSteals(t *testing.T) {
 		}()
 	}
 	for i := 0; i < n; i++ {
-		d.PushBottom(i)
+		d.PushBottom(ptr(i))
 		if i%3 == 0 {
 			if v, ok := d.PopBottom(); ok {
-				if _, dup := stolen.LoadOrStore(v, true); dup {
-					t.Errorf("duplicate popped %d", v)
+				if _, dup := stolen.LoadOrStore(*v, true); dup {
+					t.Errorf("duplicate popped %d", *v)
 				}
 			}
 		}
@@ -524,8 +703,8 @@ func TestDequeGrowthUnderConcurrentSteals(t *testing.T) {
 		if !ok {
 			break
 		}
-		if _, dup := stolen.LoadOrStore(v, true); dup {
-			t.Errorf("duplicate drained %d", v)
+		if _, dup := stolen.LoadOrStore(*v, true); dup {
+			t.Errorf("duplicate drained %d", *v)
 		}
 	}
 	close(stop)
@@ -535,8 +714,8 @@ func TestDequeGrowthUnderConcurrentSteals(t *testing.T) {
 		if !ok {
 			break
 		}
-		if _, dup := stolen.LoadOrStore(v, true); dup {
-			t.Errorf("duplicate late-stolen %d", v)
+		if _, dup := stolen.LoadOrStore(*v, true); dup {
+			t.Errorf("duplicate late-stolen %d", *v)
 		}
 	}
 	count := 0

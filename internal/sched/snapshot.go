@@ -78,9 +78,9 @@ func (s Snapshot) TotalParks() int64 {
 // `parcbench -schedstats`.
 func (s Snapshot) String() string {
 	tab := metrics.NewTable("Scheduler snapshot (per worker)",
-		"worker", "pushes", "pops", "steals", "failed-steals", "parks", "wakes")
+		"worker", "pushes", "pops", "steals", "batch-moved", "failed-steals", "parks", "wakes")
 	for _, w := range s.Workers {
-		tab.AddRow(w.ID, w.Pushes, w.Pops, w.Steals, w.FailedSteal, w.Parks, w.Wakes)
+		tab.AddRow(w.ID, w.Pushes, w.Pops, w.Steals, w.BatchMoved, w.FailedSteal, w.Parks, w.Wakes)
 	}
 	var b strings.Builder
 	b.WriteString(tab.String())
