@@ -46,11 +46,13 @@ func main() {
 		perfTol  = flag.Float64("perftol", perfbench.DefaultTolerancePct, "ns/op regression tolerance in percent")
 		perfEps  = flag.Float64("perfeps", perfbench.DefaultEpsilonNs, "absolute ns/op slack: deltas below this never fail, whatever the percentage")
 		perfQk   = flag.Bool("perfquick", false, "short measurement windows (CI smoke; too noisy to commit as a baseline)")
+		perfCmp  = flag.Bool("perfcompare", true, "ratchet against the baseline (disable to just measure, e.g. a -race smoke where timings are meaningless)")
+		perfDel  = flag.String("perfdelta", "", "write the per-path baseline-vs-current delta report (JSON) to this file — the CI build artifact")
 	)
 	flag.Parse()
 
 	if *perf {
-		os.Exit(runPerf(*perfOut, *perfBase, *perfTol, *perfEps, *perfQk))
+		os.Exit(runPerf(*perfOut, *perfBase, *perfDel, *perfTol, *perfEps, *perfQk, *perfCmp))
 	}
 
 	if *list {
@@ -90,10 +92,10 @@ func main() {
 	}
 }
 
-// runPerf measures the hot-path suite, optionally writes the report, and
-// ratchets it against the committed baseline. Exit codes: 0 ok, 1 the
-// ratchet failed, 2 operational error.
-func runPerf(out, baselinePath string, tolPct, epsNs float64, quick bool) int {
+// runPerf measures the hot-path suite, optionally writes the report and
+// the per-path delta artifact, and ratchets against the committed
+// baseline. Exit codes: 0 ok, 1 the ratchet failed, 2 operational error.
+func runPerf(out, baselinePath, deltaPath string, tolPct, epsNs float64, quick, compare bool) int {
 	opts := perfbench.DefaultOptions()
 	if quick {
 		opts = perfbench.QuickOptions()
@@ -110,6 +112,10 @@ func runPerf(out, baselinePath string, tolPct, epsNs float64, quick bool) int {
 		fmt.Printf("wrote %s (%d hot paths)\n", out, len(rep.Results))
 	}
 
+	if !compare {
+		fmt.Println("perf ratchet: comparison disabled (-perfcompare=false)")
+		return 0
+	}
 	if baselinePath == "" {
 		var err error
 		baselinePath, err = perfbench.LatestBaseline(".", out)
@@ -126,6 +132,14 @@ func runPerf(out, baselinePath string, tolPct, epsNs float64, quick bool) int {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "parcbench: %v\n", err)
 		return 2
+	}
+	if deltaPath != "" {
+		delta := perfbench.BuildDelta(baselinePath, base, rep, tolPct, epsNs)
+		if err := perfbench.WriteDelta(deltaPath, delta); err != nil {
+			fmt.Fprintf(os.Stderr, "parcbench: writing %s: %v\n", deltaPath, err)
+			return 2
+		}
+		fmt.Printf("wrote %s (%d delta rows)\n", deltaPath, len(delta.Deltas))
 	}
 	regs := perfbench.Compare(base, rep, tolPct, epsNs)
 	fmt.Printf("baseline %s: %s\n", baselinePath, perfbench.FormatRegressions(regs))

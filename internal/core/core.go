@@ -56,20 +56,45 @@ func Catch(fn func()) (err error) {
 	return nil
 }
 
+// catchRunnable is Catch for a Runnable. The expression r.RunTask would
+// materialise a method-value closure (one heap allocation per task), so
+// the Runnable submission path gets its own capture body.
+func catchRunnable(r Runnable) (err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			buf := make([]byte, 8192)
+			n := runtime.Stack(buf, false)
+			err = &PanicError{Value: v, Stack: string(buf[:n])}
+		}
+	}()
+	r.RunTask()
+	return nil
+}
+
 // latencySampleMask samples one in (mask+1) submissions into the
 // submit→start latency histogram, keeping the probe cost off the common
 // submit path.
 const latencySampleMask = 63
 
-// task is the pool's internal task envelope: the submitted function plus
-// the submit timestamp for the sampled latency probe (zero when this
-// submission was not sampled). Envelopes are recycled through taskPool
-// and passed by pointer through the deques and the global queue, so a
-// steady-state Submit→run cycle performs no allocation — the envelope,
-// the queue slot, and the wake are all reused storage. The old design
+// Runnable is the closure-free submission interface. A layer that
+// already owns a long-lived object per task (ptask's Task handle) can
+// implement RunTask on that object and pass it to SubmitRunnable: the
+// hot path then carries two interface words through the queues instead
+// of materialising a method-value closure per submission, which is a
+// heap allocation the escape analyser can never elide.
+type Runnable interface{ RunTask() }
+
+// task is the pool's internal task envelope: the submitted function (or
+// Runnable — exactly one of fn/r is set) plus the submit timestamp for
+// the sampled latency probe (zero when this submission was not
+// sampled). Envelopes are recycled through taskPool and passed by
+// pointer through the deques and the global queue, so a steady-state
+// Submit→run cycle performs no allocation — the envelope, the queue
+// slot, and the wake are all reused storage. The old design
 // heap-allocated a closure per sampled task and boxed every queue push.
 type task struct {
 	fn func()
+	r  Runnable
 	t0 time.Time
 }
 
@@ -221,7 +246,15 @@ func (p *Pool) Executed() int64 { return p.executed.Load() }
 // Steady-state Submit is allocation-free: the envelope comes from
 // taskPool, the deque stores it by pointer, and the latency probe is a
 // timestamp in the envelope rather than a wrapper closure.
-func (p *Pool) Submit(fn func()) {
+func (p *Pool) Submit(fn func()) { p.submit(fn, nil) }
+
+// SubmitRunnable schedules r.RunTask with the same semantics as Submit
+// but without the caller having to form a closure: passing a pointer
+// into the Runnable interface is allocation-free, so a layer that owns
+// a per-task object (ptask) submits at zero additional allocations.
+func (p *Pool) SubmitRunnable(r Runnable) { p.submit(nil, r) }
+
+func (p *Pool) submit(fn func(), r Runnable) {
 	if p.down.Load() {
 		panic("core: Submit on a Pool after Shutdown (task would never run)")
 	}
@@ -247,6 +280,7 @@ func (p *Pool) Submit(fn func()) {
 	}
 	t := taskPool.Get().(*task)
 	t.fn = fn
+	t.r = r
 	if p.latN.Add(1)&latencySampleMask == 0 {
 		t.t0 = time.Now()
 	}
@@ -464,13 +498,19 @@ func (p *Pool) runTask(t *task) {
 		p.lat.Observe(time.Since(t.t0))
 	}
 	fn := t.fn
+	r := t.r
 	t.fn = nil
+	t.r = nil
 	t.t0 = time.Time{}
 	taskPool.Put(t)
 	// Panics are contained per-task; the task wrapper (e.g. a ptask
 	// future) is responsible for recording them. A bare Submit that
 	// panics must still not kill the worker.
-	_ = Catch(fn)
+	if r != nil {
+		_ = catchRunnable(r)
+	} else {
+		_ = Catch(fn)
+	}
 	p.executed.Add(1)
 	if p.inflight.Add(-1) == 0 && p.qwaiters.Load() > 0 {
 		p.qmu.Lock()

@@ -5,33 +5,77 @@
 // Under light load batching adds at most MaxDelay of latency to tiny
 // jobs; under heavy load batches fill instantly and the server admits
 // one slot per MaxBatch jobs, which is exactly when coalescing pays.
+//
+// The accumulation is lock-light: a batch is a cell with a fixed slot
+// array, and an adder claims its slot with one atomic fetch-add — no
+// mutex, no append, no per-add timer arming. The adder that fills the
+// cell detaches it (one CAS on the current-cell pointer) and flushes on
+// its own goroutine; a single long-lived flusher goroutine enforces the
+// delay bound, replacing the old per-batch time.AfterFunc. Item futures
+// come from a generation-guarded core.FuturePool, so the steady-state
+// enqueue path allocates only the amortised cell (two allocations per
+// batch, not per item).
 package parcserve
 
 import (
-	"sync"
+	"errors"
+	"runtime"
 	"sync/atomic"
 	"time"
 
 	"parc751/internal/core"
 )
 
+// sealBias is added to a cell's claim cursor to seal it: any claim at or
+// above the bias arrived after the cell was detached and must retry on
+// the replacement cell. It only needs to exceed any reachable claim
+// count between detach and seal.
+const sealBias = int64(1) << 40
+
+// batchCell is one batch in the making. slots is sized to maxBatch;
+// claims hands out slot positions (and, once sealBias lands, marks the
+// cell sealed); filled counts committed slot writes, which is what lets
+// a flusher wait out adders that have claimed but not yet written.
+// Cells are deliberately not pooled: a fresh cell per batch keeps the
+// current-cell CAS free of ABA and costs two allocations amortised over
+// up to maxBatch items.
+type batchCell[IN, OUT any] struct {
+	slots   []batchItem[IN, OUT]
+	claims  atomic.Int64
+	filled  atomic.Int64
+	firstNs atomic.Int64 // arrival time of the cell's first item
+}
+
+type batchItem[IN, OUT any] struct {
+	in  IN
+	fut *core.Future[OUT]
+}
+
 // batcher coalesces IN items and completes each item's future with an
-// OUT. flush is invoked outside the batcher's lock with a full batch;
-// it must complete every future exactly once.
+// OUT. flush is invoked with a full batch on the goroutine that
+// triggered it (the adder that filled the cell, the delay flusher, or
+// close); it must complete every future exactly once.
 type batcher[IN, OUT any] struct {
 	maxBatch int
 	maxDelay time.Duration
 	flush    func([]batchItem[IN, OUT])
 
-	mu      sync.Mutex
-	pending []batchItem[IN, OUT]
-	timer   *time.Timer
-	closed  bool
-	// inflight tracks dispatched-but-unfinished flushes; Add happens
-	// under mu (so close's Wait can never miss one) and flush runs
-	// synchronously on the triggering goroutine — the adder that filled
-	// the batch, the delay timer's goroutine, or close itself.
-	inflight sync.WaitGroup
+	cur    atomic.Pointer[batchCell[IN, OUT]]
+	closed atomic.Bool
+	futs   core.FuturePool[OUT]
+
+	// accepted/settled are the conservation ledger close waits on: an
+	// item is accepted when its slot write commits and settled when its
+	// batch's flush returns. A WaitGroup cannot express this — the
+	// registration would race the detach CAS — but two counters can.
+	accepted atomic.Int64
+	settled  atomic.Int64
+
+	// wake (capacity 1) tells the delay flusher a cell has its first
+	// item; stop/flusherDone bound the flusher's lifetime.
+	wake        chan struct{}
+	stop        chan struct{}
+	flusherDone chan struct{}
 
 	// Stats, exported through /statz.
 	batches  atomic.Int64 // flushes issued
@@ -41,110 +85,199 @@ type batcher[IN, OUT any] struct {
 	rejected atomic.Int64 // items refused because the batcher was closed
 }
 
-type batchItem[IN, OUT any] struct {
-	in  IN
-	fut *core.Future[OUT]
-}
+var errBatcherClosed = errors.New("parcserve: batcher closed")
 
 func newBatcher[IN, OUT any](maxBatch int, maxDelay time.Duration, flush func([]batchItem[IN, OUT])) *batcher[IN, OUT] {
 	if maxBatch < 1 {
 		maxBatch = 1
 	}
-	return &batcher[IN, OUT]{maxBatch: maxBatch, maxDelay: maxDelay, flush: flush}
+	b := &batcher[IN, OUT]{
+		maxBatch:    maxBatch,
+		maxDelay:    maxDelay,
+		flush:       flush,
+		wake:        make(chan struct{}, 1),
+		stop:        make(chan struct{}),
+		flusherDone: make(chan struct{}),
+	}
+	b.cur.Store(b.newCell())
+	if maxDelay > 0 {
+		go b.flusher()
+	} else {
+		close(b.flusherDone) // no delay budget: adds flush synchronously
+	}
+	return b
+}
+
+func (b *batcher[IN, OUT]) newCell() *batchCell[IN, OUT] {
+	return &batchCell[IN, OUT]{slots: make([]batchItem[IN, OUT], b.maxBatch)}
 }
 
 // add queues in for the next flush and returns the future its result
 // will arrive on. ok is false when the batcher has been closed (server
-// draining): the caller must fail the job itself.
+// draining): the caller must fail the job itself. The future is pooled;
+// a caller that consumed the result may hand it back via releaseFuture
+// (a caller that stopped waiting must simply drop it).
 func (b *batcher[IN, OUT]) add(in IN) (*core.Future[OUT], bool) {
-	fut := core.NewFuture[OUT]()
-	b.mu.Lock()
-	if b.closed {
-		b.mu.Unlock()
+	if b.closed.Load() {
 		b.rejected.Add(1)
 		return nil, false
 	}
-	b.items.Add(1)
-	b.pending = append(b.pending, batchItem[IN, OUT]{in: in, fut: fut})
-	if len(b.pending) >= b.maxBatch {
-		batch := b.takeLocked()
-		b.mu.Unlock()
-		b.dispatch(batch, false)
+	fut := b.futs.Get()
+	for {
+		if b.closed.Load() {
+			// The future was never exposed: settle and recycle it here.
+			var zero OUT
+			fut.Complete(zero, errBatcherClosed)
+			b.futs.Put(fut)
+			b.rejected.Add(1)
+			return nil, false
+		}
+		cell := b.cur.Load()
+		pos := cell.claims.Add(1) - 1
+		if pos >= sealBias {
+			continue // sealed: a replacement cell is already installed
+		}
+		if pos >= int64(b.maxBatch) {
+			// Full: the claimer of the last slot is installing the
+			// replacement cell; wait it out and retry there.
+			for b.cur.Load() == cell {
+				runtime.Gosched()
+			}
+			continue
+		}
+		cell.slots[pos] = batchItem[IN, OUT]{in: in, fut: fut}
+		b.accepted.Add(1)
+		b.items.Add(1)
+		cell.filled.Add(1)
+		if pos == 0 {
+			cell.firstNs.Store(time.Now().UnixNano())
+			if b.maxDelay > 0 && b.maxBatch > 1 {
+				select {
+				case b.wake <- struct{}{}:
+				default:
+				}
+			}
+		}
+		if pos == int64(b.maxBatch)-1 {
+			b.sealIfCurrent(cell, false)
+		} else if b.maxDelay <= 0 {
+			// No delay budget: every add flushes whatever is pending.
+			b.sealIfCurrent(cell, false)
+		}
 		return fut, true
 	}
-	if b.timer == nil && b.maxDelay > 0 {
-		b.timer = time.AfterFunc(b.maxDelay, b.flushTimer)
-	}
-	b.mu.Unlock()
-	if b.maxDelay <= 0 {
-		// No delay budget: every add flushes whatever is pending.
-		b.flushNow()
-	}
-	return fut, true
 }
 
-// takeLocked detaches the pending batch, disarms the timer, and (for a
-// non-empty batch) registers the flush in inflight. Callers hold b.mu
-// and must pass the result to dispatch.
-func (b *batcher[IN, OUT]) takeLocked() []batchItem[IN, OUT] {
-	batch := b.pending
-	b.pending = nil
-	if b.timer != nil {
-		b.timer.Stop()
-		b.timer = nil
+// releaseFuture recycles an add future whose result the caller has
+// consumed. Only the goroutine that received the future from add may
+// call it, and only after Get returned — a caller that abandoned the
+// wait (deadline, cancelled request) must not.
+func (b *batcher[IN, OUT]) releaseFuture(f *core.Future[OUT]) { b.futs.Put(f) }
+
+// sealIfCurrent detaches cell (installing a fresh one) and, on winning
+// the detach, seals and flushes it. A lost CAS means another goroutine
+// detached the same cell and owns its flush.
+func (b *batcher[IN, OUT]) sealIfCurrent(cell *batchCell[IN, OUT], timed bool) {
+	if b.cur.CompareAndSwap(cell, b.newCell()) {
+		b.finishCell(cell, timed)
 	}
-	if len(batch) > 0 {
-		b.inflight.Add(1)
+}
+
+// finishCell seals a detached cell and flushes its contents: the seal
+// bias lands on the claim cursor (bouncing late claimers to the
+// replacement cell), the pre-seal claim count bounds the batch, and the
+// flush waits for every claimed slot's write to commit — adders never
+// block, so the gap between claim and commit is a few stores.
+func (b *batcher[IN, OUT]) finishCell(cell *batchCell[IN, OUT], timed bool) {
+	pre := cell.claims.Add(sealBias) - sealBias
+	take := pre
+	if take > int64(b.maxBatch) {
+		take = int64(b.maxBatch)
 	}
-	return batch
-}
-
-func (b *batcher[IN, OUT]) flushTimer() {
-	b.mu.Lock()
-	batch := b.takeLocked()
-	b.mu.Unlock()
-	b.dispatch(batch, true)
-}
-
-// flushNow synchronously flushes whatever is pending (used on drain and
-// when no delay budget is configured).
-func (b *batcher[IN, OUT]) flushNow() {
-	b.mu.Lock()
-	batch := b.takeLocked()
-	b.mu.Unlock()
-	b.dispatch(batch, false)
-}
-
-func (b *batcher[IN, OUT]) dispatch(batch []batchItem[IN, OUT], timed bool) {
-	if len(batch) == 0 {
+	if take <= 0 {
 		return
 	}
-	defer b.inflight.Done()
+	for cell.filled.Load() < take {
+		runtime.Gosched()
+	}
 	b.batches.Add(1)
 	if timed {
 		b.byTimer.Add(1)
 	}
 	for {
 		seen := b.maxSeen.Load()
-		if int64(len(batch)) <= seen || b.maxSeen.CompareAndSwap(seen, int64(len(batch))) {
+		if take <= seen || b.maxSeen.CompareAndSwap(seen, take) {
 			break
 		}
 	}
-	b.flush(batch)
+	b.flush(cell.slots[:take])
+	b.settled.Add(take)
+}
+
+// flusher is the delay-bound enforcer: one goroutine for the batcher's
+// life, woken by a cell's first item, sleeping until that item's age
+// reaches maxDelay, then sealing whatever accumulated. It replaces the
+// old per-batch time.AfterFunc (an allocation and a runtime timer per
+// batch) and the mutex the timer handshake needed.
+func (b *batcher[IN, OUT]) flusher() {
+	defer close(b.flusherDone)
+	timer := time.NewTimer(time.Hour)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	defer timer.Stop()
+	for {
+		select {
+		case <-b.wake:
+		case <-b.stop:
+			return
+		}
+		for {
+			cell := b.cur.Load()
+			if cell.claims.Load() == 0 {
+				break // empty cell: sleep until its first item wakes us
+			}
+			// A claim exists, so the first adder is at most a few stores
+			// away from stamping the arrival time.
+			first := cell.firstNs.Load()
+			for first == 0 {
+				runtime.Gosched()
+				first = cell.firstNs.Load()
+			}
+			if wait := time.Duration(first + int64(b.maxDelay) - time.Now().UnixNano()); wait > 0 {
+				timer.Reset(wait)
+				select {
+				case <-timer.C:
+				case <-b.stop:
+					return
+				}
+			}
+			b.sealIfCurrent(cell, true)
+		}
+	}
 }
 
 // close flushes the pending tail, refuses further adds, and waits for
-// every in-flight flush — the drain path: every accepted item has its
-// future settled by the time close returns. Any concurrent timer flush
-// registered itself in inflight under b.mu before close took the lock,
-// so the Wait cannot miss it.
+// every accepted item to settle — the drain path: every accepted item
+// has its future completed by the time close returns. The wait is on
+// the accepted/settled ledger rather than a WaitGroup, because a flush
+// is "registered" by the detach CAS, which no Add/Wait pairing can
+// cover without reintroducing a lock.
 func (b *batcher[IN, OUT]) close() {
-	b.mu.Lock()
-	b.closed = true
-	batch := b.takeLocked()
-	b.mu.Unlock()
-	b.dispatch(batch, false)
-	b.inflight.Wait()
+	if b.closed.CompareAndSwap(false, true) {
+		close(b.stop)
+	}
+	<-b.flusherDone
+	for {
+		cell := b.cur.Load()
+		if b.cur.CompareAndSwap(cell, b.newCell()) {
+			b.finishCell(cell, false)
+			break
+		}
+	}
+	for b.settled.Load() != b.accepted.Load() {
+		runtime.Gosched()
+	}
 }
 
 // BatchStats is one batcher's /statz export.

@@ -1,0 +1,97 @@
+package parcserve
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"parc751/internal/core"
+)
+
+// TestServeBatcherStressDrain hammers the lock-light batcher from many
+// goroutines while a concurrent close drains it mid-storm — the scenario
+// the atomic slot-claim protocol must survive. It checks the
+// conservation law three ways on the same run:
+//
+//   - the sum of inputs the flush callback saw equals the sum of inputs
+//     whose add was accepted (no item lost or duplicated by a seal race);
+//   - every accepted item's future settles with exactly its own input
+//     (no slot write torn or misdelivered);
+//   - the batcher's own accepted/settled ledger agrees with the test's.
+//
+// The name keeps it inside the CI race job's 'TestServe' net, where the
+// claim/seal/detach interleavings actually get exercised.
+func TestServeBatcherStressDrain(t *testing.T) {
+	var flushedSum atomic.Int64
+	var flushedItems atomic.Int64
+	b := newBatcher(8, 200*time.Microsecond, func(items []batchItem[int64, int64]) {
+		for _, it := range items {
+			flushedSum.Add(it.in)
+			flushedItems.Add(1)
+			it.fut.Complete(it.in, nil)
+		}
+	})
+
+	type accepted struct {
+		in  int64
+		fut *core.Future[int64]
+	}
+	const adders = 8
+	perAdder := make([][]accepted, adders)
+	var acceptedSum atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < adders; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				in := int64(g)*1_000_000 + int64(i) + 1
+				fut, ok := b.add(in)
+				if !ok {
+					return // drain refused us: stop adding
+				}
+				acceptedSum.Add(in)
+				perAdder[g] = append(perAdder[g], accepted{in: in, fut: fut})
+			}
+		}(g)
+	}
+	// Let the storm overlap timer flushes, then drain underneath it.
+	time.Sleep(2 * time.Millisecond)
+	b.close()
+	wg.Wait()
+
+	var gotSum int64
+	var gotItems int64
+	for g := range perAdder {
+		for _, a := range perAdder[g] {
+			select {
+			case <-a.fut.Done():
+			default:
+				t.Fatalf("accepted item %d not settled after close", a.in)
+			}
+			v, err := a.fut.Get()
+			if err != nil {
+				t.Fatalf("item %d settled with error %v", a.in, err)
+			}
+			if v != a.in {
+				t.Fatalf("item %d settled with value %d — misdelivered slot", a.in, v)
+			}
+			gotSum += v
+			gotItems++
+		}
+	}
+	if gotSum != acceptedSum.Load() || gotSum != flushedSum.Load() {
+		t.Fatalf("checksum not conserved: accepted=%d flushed=%d settled=%d",
+			acceptedSum.Load(), flushedSum.Load(), gotSum)
+	}
+	if flushedItems.Load() != gotItems {
+		t.Fatalf("flush saw %d items, adders accepted %d", flushedItems.Load(), gotItems)
+	}
+	if st := b.stats(); st.Items != gotItems {
+		t.Fatalf("batcher ledger items=%d, want %d", st.Items, gotItems)
+	}
+	if gotItems == 0 {
+		t.Fatal("storm accepted nothing — close raced ahead of every adder")
+	}
+}

@@ -126,7 +126,10 @@ func (s *Server) execute(ctx context.Context, kind Kind, req *JobRequest) (*JobR
 	if seed == 0 {
 		seed = defaultSeed
 	}
-	res := &JobResult{Kind: kind, Summary: map[string]any{}}
+	// The envelope is pooled; the handler that encodes it releases it
+	// (pool.go). Error returns below just drop it to the GC — the error
+	// paths are cold and a leaked envelope is only a missed reuse.
+	res := acquireJobResult(kind)
 	switch kind {
 	case KindSort:
 		n := clampN(req.N, 10_000, 2_000_000)
@@ -252,12 +255,12 @@ func (s *Server) sortElement(in sortIn, batchLen int) (*JobResult, error) {
 	for i := 0; i < len(xs); i += 1 + len(xs)/64 {
 		sum = fnv1a(sum, uint64(xs[i]))
 	}
-	return &JobResult{
-		Kind:     KindSort,
-		Batched:  true,
-		Summary:  map[string]any{"n": in.n, "batch": batchLen},
-		Checksum: sum,
-	}, nil
+	res := acquireJobResult(KindSort)
+	res.Batched = true
+	res.Summary["n"] = in.n
+	res.Summary["batch"] = batchLen
+	res.Checksum = sum
+	return res, nil
 }
 
 func minInt(a, b int) int {

@@ -19,6 +19,7 @@ import (
 	"io"
 	"net/http"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
@@ -62,8 +63,11 @@ type Result struct {
 	// Codes tallies responses by HTTP status.
 	Codes map[int]int
 	// RetryAfterSeen counts 429 responses that carried a Retry-After
-	// header (all of them should).
-	RetryAfterSeen int
+	// header (all of them should). RetryAfterValid counts the subset
+	// whose value parses as a whole number of seconds >= 1 — the shape a
+	// backoff-respecting client actually acts on.
+	RetryAfterSeen  int
+	RetryAfterValid int
 	// Latency is the end-to-end response time distribution over every
 	// answered request, rejections included.
 	Latency metrics.LatencySnapshot
@@ -134,9 +138,13 @@ func Run(cfg Config) *Result {
 					lat := time.Since(t0)
 					mu.Lock()
 					res.Codes[resp.StatusCode]++
-					if resp.StatusCode == http.StatusTooManyRequests &&
-						resp.Header.Get("Retry-After") != "" {
-						res.RetryAfterSeen++
+					if resp.StatusCode == http.StatusTooManyRequests {
+						if ra := resp.Header.Get("Retry-After"); ra != "" {
+							res.RetryAfterSeen++
+							if secs, perr := strconv.Atoi(ra); perr == nil && secs >= 1 {
+								res.RetryAfterValid++
+							}
+						}
 					}
 					mu.Unlock()
 					hist.Observe(lat)

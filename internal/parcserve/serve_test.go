@@ -149,6 +149,11 @@ func TestServeSaturation429(t *testing.T) {
 	if res.RetryAfterSeen != res.Codes[http.StatusTooManyRequests] {
 		t.Fatalf("Retry-After on %d of %d 429s, want all", res.RetryAfterSeen, res.Codes[http.StatusTooManyRequests])
 	}
+	// Presence is not enough: a client backs off by parsing the value, so
+	// every Retry-After must be a whole number of seconds >= 1.
+	if res.RetryAfterValid != res.RetryAfterSeen {
+		t.Fatalf("Retry-After parsed as seconds>=1 on %d of %d headers, want all", res.RetryAfterValid, res.RetryAfterSeen)
+	}
 	if res.Codes[http.StatusOK] == 0 {
 		t.Fatalf("no request succeeded (%s)", res.Summary())
 	}

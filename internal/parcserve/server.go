@@ -31,7 +31,6 @@ import (
 	"io"
 	"net/http"
 	"runtime"
-	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -280,33 +279,37 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	s.drainMu.RUnlock()
 	defer s.jobs.Done()
 
-	var req JobRequest
+	// The request rides a pooled struct; by the time the deferred release
+	// runs the job has settled, so no task body can still reference it
+	// (see pool.go for the webfetch URLs caveat).
+	req := acquireJobRequest()
+	defer releaseJobRequest(req)
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
-	if err := dec.Decode(&req); err != nil && !errors.Is(err, io.EOF) {
+	if err := dec.Decode(req); err != nil && !errors.Is(err, io.EOF) {
 		code = http.StatusBadRequest
 		writeError(w, code, "bad JSON: "+err.Error())
 		return
 	}
-	deadline := s.deadlineFor(&req)
+	deadline := s.deadlineFor(req)
 
 	var res *JobResult
 	var err error
 	if kind == KindSort && req.N > 0 && req.N <= smallSortMax {
-		res, err, code = s.runBatchedSort(r, &req, deadline)
+		res, err, code = s.runBatchedSort(r, req, deadline)
 	} else {
-		res, err, code = s.runSingle(r, start, kind, &req, deadline)
+		res, err, code = s.runSingle(r, start, kind, req, deadline)
 	}
 	if err != nil {
 		if code == http.StatusTooManyRequests {
-			w.Header().Set("Retry-After", strconv.Itoa(s.retryAfter()))
+			w.Header().Set("Retry-After", itoaSmall(s.retryAfter()))
 		}
 		writeError(w, code, err.Error())
 		return
 	}
 	res.ElapsedMs = float64(time.Since(start)) / float64(time.Millisecond)
 	code = http.StatusOK
-	w.Header().Set("Content-Type", "application/json")
-	_ = json.NewEncoder(w).Encode(res)
+	writeJSON(w, code, res)
+	releaseJobResult(res)
 }
 
 // runSingle admits and executes one job as its own context-aware task.
@@ -334,6 +337,10 @@ func (s *Server) runSingle(r *http.Request, start time.Time, kind Kind, req *Job
 		return s.execute(ctx, kind, req)
 	}, ptask.WithDeadline(remaining))
 	res, err := t.Result()
+	// The task settled (Result joined it), so its future can go back to
+	// the typed pool; res survives the release — Put only zeroes the
+	// future's own value word.
+	t.Release()
 	if err != nil {
 		return nil, err, statusFor(err)
 	}
@@ -356,6 +363,10 @@ func (s *Server) runBatchedSort(r *http.Request, req *JobRequest, deadline time.
 	select {
 	case <-fut.Done():
 		res, err := fut.Get()
+		// Get returned, so this goroutine is done with the pooled future;
+		// the timeout paths below must NOT release it — the flush will
+		// still complete it.
+		s.sortBatch.releaseFuture(fut)
 		if err != nil {
 			return nil, err, statusFor(err)
 		}
@@ -472,13 +483,6 @@ func (s *Server) Drain(d time.Duration) error {
 
 // Draining reports whether Drain has begun.
 func (s *Server) Draining() bool { return s.draining.Load() }
-
-// writeError emits the uniform JSON error shape.
-func writeError(w http.ResponseWriter, code int, msg string) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	_ = json.NewEncoder(w).Encode(map[string]any{"error": msg, "status": code})
-}
 
 // deadlineChan returns a channel closed after d plus its cancel func —
 // a context-free deadline for the admission wait.

@@ -69,6 +69,101 @@ func Compare(base, cur Report, tolPct, epsNs float64) []Regression {
 	return regs
 }
 
+// Delta is one hot path's baseline-vs-current row — the machine-readable
+// form of what Compare decides, kept even for paths that pass so a CI
+// artifact shows the whole picture, not just the failures.
+type Delta struct {
+	Name        string  `json:"name"`
+	BaseNsPerOp float64 `json:"base_ns_per_op,omitempty"`
+	CurNsPerOp  float64 `json:"cur_ns_per_op,omitempty"`
+	// NsDeltaPct is (cur-base)/base in percent; negative is an improvement.
+	NsDeltaPct float64 `json:"ns_delta_pct,omitempty"`
+	BaseAllocs float64 `json:"base_allocs_per_op,omitempty"`
+	CurAllocs  float64 `json:"cur_allocs_per_op,omitempty"`
+	AllocDelta float64 `json:"alloc_delta,omitempty"`
+	// Status is "ok", "regressed" (the ratchet would fail it), "new"
+	// (no baseline row), or "missing" (baseline row with no current run).
+	Status string `json:"status"`
+}
+
+// DeltaReport is the per-path comparison artifact CI uploads alongside
+// the ratchet verdict.
+type DeltaReport struct {
+	Schema   string  `json:"schema"`
+	Baseline string  `json:"baseline"`
+	TolPct   float64 `json:"tolerance_pct"`
+	EpsNs    float64 `json:"epsilon_ns"`
+	Deltas   []Delta `json:"deltas"`
+}
+
+// DeltaSchemaV1 versions the delta-report artifact format.
+const DeltaSchemaV1 = "parc751/perfbench-delta/v1"
+
+// BuildDelta computes the per-path delta rows between a baseline and a
+// current run, applying the same regression predicate as Compare.
+func BuildDelta(baselineName string, base, cur Report, tolPct, epsNs float64) DeltaReport {
+	if tolPct <= 0 {
+		tolPct = DefaultTolerancePct
+	}
+	if epsNs <= 0 {
+		epsNs = DefaultEpsilonNs
+	}
+	rep := DeltaReport{Schema: DeltaSchemaV1, Baseline: baselineName, TolPct: tolPct, EpsNs: epsNs}
+	curByName := make(map[string]Result, len(cur.Results))
+	for _, r := range cur.Results {
+		curByName[r.Name] = r
+	}
+	seen := make(map[string]bool, len(base.Results))
+	for _, b := range base.Results {
+		seen[b.Name] = true
+		c, ok := curByName[b.Name]
+		if !ok {
+			rep.Deltas = append(rep.Deltas, Delta{
+				Name: b.Name, BaseNsPerOp: b.NsPerOp, BaseAllocs: b.AllocsPerOp,
+				Status: "missing",
+			})
+			continue
+		}
+		d := Delta{
+			Name:        b.Name,
+			BaseNsPerOp: b.NsPerOp,
+			CurNsPerOp:  c.NsPerOp,
+			BaseAllocs:  b.AllocsPerOp,
+			CurAllocs:   c.AllocsPerOp,
+			AllocDelta:  c.AllocsPerOp - b.AllocsPerOp,
+			Status:      "ok",
+		}
+		if b.NsPerOp > 0 {
+			d.NsDeltaPct = 100 * (c.NsPerOp - b.NsPerOp) / b.NsPerOp
+		}
+		nsRegressed := c.NsPerOp-b.NsPerOp > epsNs && c.NsPerOp > b.NsPerOp*(1+tolPct/100)
+		if nsRegressed || c.AllocsPerOp > b.AllocsPerOp+AllocSlack {
+			d.Status = "regressed"
+		}
+		rep.Deltas = append(rep.Deltas, d)
+	}
+	for _, c := range cur.Results {
+		if !seen[c.Name] {
+			rep.Deltas = append(rep.Deltas, Delta{
+				Name: c.Name, CurNsPerOp: c.NsPerOp, CurAllocs: c.AllocsPerOp,
+				Status: "new",
+			})
+		}
+	}
+	sort.Slice(rep.Deltas, func(i, j int) bool { return rep.Deltas[i].Name < rep.Deltas[j].Name })
+	return rep
+}
+
+// WriteDelta marshals the delta report to path (same conventions as
+// WriteReport).
+func WriteDelta(path string, rep DeltaReport) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
 // WriteReport marshals the report to path (pretty-printed, trailing
 // newline — the file is committed and diffed by humans).
 func WriteReport(path string, rep Report) error {

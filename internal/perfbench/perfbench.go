@@ -33,6 +33,11 @@ type Result struct {
 	AllocsPerOp float64 `json:"allocs_per_op"`
 	// Ops is the iteration count of the best repeat.
 	Ops int `json:"ops"`
+	// OpsPerSec is the throughput reading (1e9/NsPerOp), recorded only
+	// for specs marked Throughput — end-to-end paths like
+	// parcserve_roundtrip where jobs/sec is the number humans reason
+	// about. It is derived, so the comparator still ratchets on NsPerOp.
+	OpsPerSec float64 `json:"ops_per_sec,omitempty"`
 }
 
 // Report is the serialized form of one full suite run — the BENCH_<n>.json
@@ -59,9 +64,12 @@ const SchemaV1 = "parc751/perfbench/v1"
 
 // Spec is one benchmarkable hot path: Bench must perform the operation
 // exactly n times (amortizing any fixture it needs across the n ops).
+// Throughput marks end-to-end paths whose report rows should also carry
+// an ops/sec reading.
 type Spec struct {
-	Name  string
-	Bench func(n int)
+	Name       string
+	Bench      func(n int)
+	Throughput bool
 }
 
 // Options tunes the measurement.
@@ -120,6 +128,9 @@ func Measure(s Spec, o Options) Result {
 			}
 			n = grow(n, elapsed, o.MinTime)
 		}
+	}
+	if s.Throughput && res.NsPerOp > 0 {
+		res.OpsPerSec = 1e9 / res.NsPerOp
 	}
 	return res
 }

@@ -3,9 +3,12 @@ package perfbench
 import (
 	"bytes"
 	"fmt"
+	"io"
+	"net/http"
 	"net/http/httptest"
 	"strings"
 	"sync"
+	"time"
 
 	"parc751/internal/core"
 	"parc751/internal/parcserve"
@@ -45,15 +48,34 @@ func Suite() (specs []Spec, cleanup func()) {
 		}
 	}})
 
+	// pyjama_for_static: one block-decomposed worksharing loop plus its
+	// implicit barrier. The static fast path registers no construct slots
+	// (staticFastChunk is pure arithmetic), so the whole measurement can
+	// run inside ONE region: region spawn amortizes to ~n^-1 and the path
+	// ratchets at exactly zero allocations instead of carrying the old
+	// 0.09 of per-region overhead.
+	specs = append(specs, Spec{Name: "pyjama_for_static", Bench: func(n int) {
+		pyjama.Parallel(4, func(tc *pyjama.TC) {
+			sink := 0
+			body := func(i int) { sink += i }
+			for k := 0; k < n; k++ {
+				tc.For(loopN, pyjama.Static(0), body)
+			}
+			_ = sink
+		})
+	}})
+
 	// pyjama_for_<schedule>: one worksharing loop (1024 iterations over 4
-	// threads) plus its implicit barrier. Regions are recycled every
-	// regionOps loops so region spawn cost is amortized while the
-	// worksharing slot table stays bounded.
+	// threads) plus its implicit barrier. The claim-based schedules
+	// register a construct slot per loop, so regions are recycled every
+	// regionOps loops: region spawn cost is amortized while the
+	// worksharing slot table stays bounded — and the region join returns
+	// each loopState to the pool, which is what keeps the steady state at
+	// one allocation or less per construct.
 	for _, sc := range []struct {
 		name  string
 		sched pyjama.Schedule
 	}{
-		{"pyjama_for_static", pyjama.Static(0)},
 		{"pyjama_for_dynamic", pyjama.Dynamic(64)},
 		{"pyjama_for_guided", pyjama.Guided(0)},
 		{"pyjama_for_auto", pyjama.Auto()},
@@ -120,12 +142,65 @@ func Suite() (specs []Spec, cleanup func()) {
 		}
 	}})
 
+	// parcserve_roundtrip: end-to-end serving throughput — concurrent
+	// clients POSTing small sorts over real HTTP connections into a
+	// batching server (decode, admission, coalesce, execute, encode).
+	// Unlike parcserve_enqueue (one sequential in-process request, the
+	// latency view), this is the jobs/sec view: 8 open connections keep
+	// the batcher and admission path genuinely contended.
+	rtSrv := parcserve.NewServer(parcserve.Config{
+		Workers:       4,
+		MaxConcurrent: 8,
+		BatchMax:      8,
+		BatchDelay:    500 * time.Microsecond,
+	})
+	ts := httptest.NewServer(rtSrv)
+	rtClient := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: roundtripClients}}
+	rtPayload := []byte(`{"n":256,"seed":751}`)
+	rtURL := ts.URL + "/jobs/sort"
+	specs = append(specs, Spec{Name: "parcserve_roundtrip", Throughput: true, Bench: func(n int) {
+		var wg sync.WaitGroup
+		for c := 0; c < roundtripClients; c++ {
+			share := n / roundtripClients
+			if c < n%roundtripClients {
+				share++
+			}
+			if share == 0 {
+				continue
+			}
+			wg.Add(1)
+			go func(share int) {
+				defer wg.Done()
+				for i := 0; i < share; i++ {
+					resp, err := rtClient.Post(rtURL, "application/json", bytes.NewReader(rtPayload))
+					if err != nil {
+						panic(fmt.Sprintf("parcserve_roundtrip: %v", err))
+					}
+					_, _ = io.Copy(io.Discard, resp.Body)
+					_ = resp.Body.Close()
+					if resp.StatusCode != 200 {
+						panic(fmt.Sprintf("parcserve_roundtrip: status %d", resp.StatusCode))
+					}
+				}
+			}(share)
+		}
+		wg.Wait()
+	}})
+
 	cleanup = func() {
 		pool.Shutdown()
 		rt.Shutdown()
+		ts.Close()
+		_ = rtSrv.Drain(5 * time.Second)
+		_ = srv.Drain(5 * time.Second)
 	}
 	return specs, cleanup
 }
+
+// roundtripClients is the parcserve_roundtrip concurrency: enough open
+// connections to keep the batcher coalescing, small enough that the
+// measurement is the server, not client-side scheduling.
+const roundtripClients = 8
 
 // loopN is the per-For trip count: large enough that the schedules do
 // real distribution work, small enough that construct overhead (the

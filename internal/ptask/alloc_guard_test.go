@@ -1,0 +1,37 @@
+//go:build !race
+
+// Allocation-budget guard for the task hot path: a steady-state
+// Run→Result→Release cycle allocates exactly the Task handle — the
+// future comes from the generation-guarded pool, the pool submission
+// rides SubmitRunnable (no wrapper closure), and the worker-side
+// envelope cycles through the scheduler's freelist. Excluded under -race
+// because the race runtime's instrumentation allocates.
+
+package ptask
+
+import (
+	"testing"
+)
+
+// TestRunResultReleaseAllocGuard pins the serving path's per-job task
+// cost at one allocation: the Task struct itself. testing.AllocsPerRun
+// reads process-wide Mallocs, so the guard covers the worker half of the
+// cycle too.
+func TestRunResultReleaseAllocGuard(t *testing.T) {
+	rt := NewRuntime(2)
+	defer rt.Shutdown()
+	fn := func() (int, error) { return 42, nil }
+	cycle := func() {
+		tk := Run(rt, fn)
+		if v, err := tk.Result(); err != nil || v != 42 {
+			t.Fatalf("Result = (%v, %v)", v, err)
+		}
+		tk.Release()
+	}
+	for i := 0; i < 256; i++ {
+		cycle()
+	}
+	if got := testing.AllocsPerRun(200, cycle); got > 1 {
+		t.Fatalf("steady-state Run→Result→Release allocates %v objects/op, want <= 1", got)
+	}
+}

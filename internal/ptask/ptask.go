@@ -201,10 +201,18 @@ func (t *Task[T]) enqueue() {
 	if !t.state.CompareAndSwap(stateWaiting, stateQueued) {
 		return // cancelled while waiting on dependences
 	}
-	t.rt.pool.Submit(t.run)
+	// SubmitRunnable, not Submit(t.RunTask): the method-value expression
+	// would allocate a closure per task, while the Task pointer enters
+	// the Runnable interface allocation-free. This is half of the old
+	// 2 allocs/op on the Run→Result path (the other is the handle
+	// itself, which is deliberately not pooled — see futurepool.go).
+	t.rt.pool.SubmitRunnable(t)
 }
 
-func (t *Task[T]) run() {
+// RunTask implements core.Runnable: it is the scheduler's entry into the
+// task and must only be called by the pool. A stray external call is a
+// harmless no-op — the queued→running CAS admits exactly one execution.
+func (t *Task[T]) RunTask() {
 	if !t.state.CompareAndSwap(stateQueued, stateRunning) {
 		return // cancelled while queued: the closure must not execute
 	}

@@ -46,3 +46,44 @@ func TestForStaticZeroAlloc(t *testing.T) {
 		t.Fatalf("steady-state For(static) allocates %v objects/op, want 0", got[0])
 	}
 }
+
+// TestForDynamicGuidedAllocGuard bounds the claim-based schedules at one
+// allocation per construct in the steady state: the loopState comes back
+// from the region-join recycling pool (region.recycle → loopStatePool),
+// the ordered cond is created lazily (claim loops never touch it), and
+// the chunk claim is pure atomics. The region's own fixed cost (barrier,
+// counters, member goroutines) is amortised over the constructs it runs,
+// which is why the measurement wraps whole regions: recycling only
+// returns state at the join.
+func TestForDynamicGuidedAllocGuard(t *testing.T) {
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+	const n = 1 << 10
+	const per = 32 // constructs per region
+	for _, tc := range []struct {
+		name  string
+		sched Schedule
+	}{
+		{"dynamic", Dynamic(64)},
+		{"guided", Guided(16)},
+	} {
+		sched := tc.sched
+		sink := 0
+		body := func(i int) { sink += i }
+		region := func() {
+			Parallel(2, func(tc *TC) {
+				for k := 0; k < per; k++ {
+					tc.For(n, sched, body)
+				}
+			})
+		}
+		for k := 0; k < 8; k++ {
+			region() // warm loopStatePool across region joins
+		}
+		got := testing.AllocsPerRun(20, region) / per
+		if got > 1 {
+			t.Fatalf("steady-state For(%s) allocates %v objects/op, want <= 1", tc.name, got)
+		}
+		_ = sink
+	}
+}

@@ -1,12 +1,17 @@
 package pyjama
 
 import (
+	"sync"
+
 	"parc751/internal/reduction"
 )
 
 // redSlot is one thread's padded partial-result slot: each team member
 // writes only its own slot, so the padding keeps concurrent stores off
 // shared cache lines, and the barrier publishes them without a lock.
+// v holds a *T box rather than the T itself (see ForReduce): the box is
+// retained across recycling, so a steady-state reduction writes through
+// a reused pointer instead of re-boxing the partial every construct.
 type redSlot struct {
 	v any
 	_ [48]byte
@@ -21,13 +26,31 @@ type redState struct {
 	result   any
 }
 
+// redStatePool recycles reduction states across regions, like
+// loopStatePool. The partial and result boxes ride along deliberately —
+// they are what makes the steady-state reduction allocation-free — at
+// the cost of keeping the previous region's last values alive until
+// overwritten, which for the scalar reductions the kernels use is noise.
+var redStatePool = sync.Pool{New: func() any { return new(redState) }}
+
+func newRedState(team int) *redState {
+	rs := redStatePool.Get().(*redState)
+	if cap(rs.partials) < team {
+		rs.partials = make([]redSlot, team)
+	}
+	rs.partials = rs.partials[:team]
+	return rs
+}
+
+func releaseRedState(rs *redState) { redStatePool.Put(rs) }
+
 // red fetches or creates the shared reduction state for this thread's
 // next reduction construct — the same lock-free slot pairing as loops.
 func (tc *TC) red() *redState {
 	slot := tc.redCount
 	tc.redCount++
 	rs, _ := tc.reg.reds.getOrCreate(slot, func() *redState {
-		return &redState{partials: make([]redSlot, tc.reg.n)}
+		return newRedState(tc.reg.n)
 	})
 	return rs
 }
@@ -49,20 +72,36 @@ func ForReduce[T any](tc *TC, n int, sched Schedule, r reduction.Reducer[T], bod
 	rs := tc.red()
 	acc := r.Identity()
 	tc.ForNoWait(n, sched, func(i int) { acc = body(i, acc) })
-	rs.partials[tc.id].v = acc
+	// Publish the partial through a reusable *T box: storing a non-
+	// pointer-shaped T directly in the interface word would heap-box it
+	// on every construct, while writing through a retained pointer is
+	// free once the box exists. A recycled slot whose box came from a
+	// reduction over a different type falls back to a fresh box.
+	slot := &rs.partials[tc.id]
+	box, ok := slot.v.(*T)
+	if !ok {
+		box = new(T)
+		slot.v = box
+	}
+	*box = acc
 	if tc.barrierSerial() {
 		// Every partial is visible here (the barrier ordered the stores);
 		// combine once in thread order for a deterministic value.
 		combined := r.Identity()
 		for id := 0; id < tc.reg.n; id++ {
-			if p, ok := rs.partials[id].v.(T); ok {
-				combined = r.Combine(combined, p)
+			if p, ok := rs.partials[id].v.(*T); ok {
+				combined = r.Combine(combined, *p)
 			}
 		}
-		rs.result = combined
+		rbox, ok := rs.result.(*T)
+		if !ok {
+			rbox = new(T)
+			rs.result = rbox
+		}
+		*rbox = combined
 	}
 	tc.Barrier() // publish the serial thread's combine to the team
-	return rs.result.(T)
+	return *rs.result.(*T)
 }
 
 // ParallelForReduce is the combined "#omp parallel for reduction"

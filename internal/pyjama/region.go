@@ -85,14 +85,28 @@ func SetDebug(on bool) bool { return spmdDebug.Swap(on) }
 // region end. nthreads < 1 is clamped to 1. A panic in any team member is
 // re-raised on the caller after all members finish.
 func Parallel(nthreads int, body func(tc *TC)) {
-	runRegion(nthreads, body)
+	reg := runRegion(nthreads, body)
+	reg.recycle()
 }
 
 // ParallelWithStats is Parallel plus observability: after the region
 // joins, it returns the per-thread worksharing and barrier counters (the
-// Pyjama counterpart of sched.Snapshot — see RegionStats).
+// Pyjama counterpart of sched.Snapshot — see RegionStats). Construct
+// state is not recycled on this path: the snapshot retains references
+// into auto-loop calibration state.
 func ParallelWithStats(nthreads int, body func(tc *TC)) RegionStats {
 	return runRegion(nthreads, body).statsSnapshot()
+}
+
+// recycle returns the region's construct state (loop and reduction
+// slots) to the package pools. Only legal at the region join, where this
+// goroutine is the sole owner: every team member has returned, so no
+// thread can observe a loopState or redState after it is reclaimed. The
+// panic path never reaches recycle — runRegion re-raises before
+// returning — so state captured by a failing region is simply dropped.
+func (r *region) recycle() {
+	r.loops.drain(releaseLoopState)
+	r.reds.drain(releaseRedState)
 }
 
 func runRegion(nthreads int, body func(tc *TC)) *region {

@@ -55,6 +55,27 @@ func (t *slotTable[T]) get(i int) *T {
 	return (*sp)[off].Load()
 }
 
+// drain hands every created slot value to fn and clears its entry. It
+// requires sole ownership of the table (the region join provides it:
+// every team member has returned, so no lookup can race the clear).
+// Slot numbers may have gaps — fast-path constructs consume a number
+// without creating an entry — so every allocated segment is walked in
+// full rather than stopping at the first empty slot.
+func (t *slotTable[T]) drain(fn func(*T)) {
+	for seg := range t.segs {
+		sp := t.segs[seg].Load()
+		if sp == nil {
+			continue
+		}
+		for i := range *sp {
+			if v := (*sp)[i].Load(); v != nil {
+				(*sp)[i].Store(nil)
+				fn(v)
+			}
+		}
+	}
+}
+
 // getOrCreate returns slot i's value, creating it with create if this call
 // is the slot's first arrival. won reports whether this call created the
 // value (losers' create results are discarded to the GC).

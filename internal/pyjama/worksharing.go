@@ -114,20 +114,45 @@ type loopState struct {
 	_         [56]byte
 	remaining atomic.Int64 // guided: iterations not yet claimed
 
-	_     [56]byte
-	omu   sync.Mutex // ordered section sequencing
+	_   [56]byte
+	omu sync.Mutex // ordered section sequencing
+	// ocond is created lazily by the first Ordered arrival (under omu):
+	// most loops never enter an ordered section, and the eager
+	// sync.NewCond was one of the two allocations every dynamic/guided
+	// construct paid. Once created it persists across recycling — it is
+	// bound to omu, which lives as long as the state itself.
 	ocond *sync.Cond
 	onext int
 }
 
+// loopStatePool recycles loop states across regions. A state is
+// reclaimed only at the region join — the sole-ownership point where
+// every team member has returned — so a recycled state can never be
+// observed mid-construct (see region.recycle). Steady-state dynamic and
+// guided loops therefore allocate nothing: the state comes from here
+// and the claim loop in forEachChunk is closure-free per chunk.
+var loopStatePool = sync.Pool{New: func() any { return new(loopState) }}
+
 func newLoopState(n int, sched Schedule, team int) *loopState {
-	ls := &loopState{n: n, sched: sched}
+	ls := loopStatePool.Get().(*loopState)
+	ls.n, ls.sched = n, sched
+	ls.auto = nil
+	ls.next.Store(0)
 	ls.remaining.Store(int64(n))
-	ls.ocond = sync.NewCond(&ls.omu)
+	ls.onext = 0
 	if sched.Kind == KindAuto {
 		ls.auto = newAutoState(n, team)
 	}
 	return ls
+}
+
+// releaseLoopState returns a state to the pool at the region join. The
+// auto-calibration state is dropped (its samples are per-loop and the
+// stats path retains it when the caller asked for a snapshot); the
+// ordered condvar is kept, bound to the state's own mutex.
+func releaseLoopState(ls *loopState) {
+	ls.auto = nil
+	loopStatePool.Put(ls)
 }
 
 // loop fetches or creates the shared state for this thread's next
@@ -316,6 +341,9 @@ func (tc *TC) Ordered(i int, fn func()) {
 		return newLoopState(0, Static(0), tc.reg.n)
 	})
 	ls.omu.Lock()
+	if ls.ocond == nil {
+		ls.ocond = sync.NewCond(&ls.omu)
+	}
 	for ls.onext != i {
 		ls.ocond.Wait()
 	}
