@@ -1,0 +1,107 @@
+// Package seq holds the sequential fixture kernels for parcpar's
+// rewriter: every exported function here is a loop nest the analyzer
+// accepts, and internal/parcpar/autogen/par holds the committed output
+// of running the rewriter over this package. Experiment A10 regenerates
+// par from seq and asserts byte identity, checksum equality, and
+// speedup — so these kernels are chosen to be bit-exact under
+// outer-loop parallelization: integer reductions are associative
+// exactly, and the float kernels keep their inner summation order.
+//
+// Regenerate with:
+//
+//	go run ./cmd/parcpar -o internal/parcpar/autogen/par -pkg par internal/parcpar/autogen/seq
+package seq
+
+// MatMulFlat multiplies n×n row-major matrices: c[i*n+j] = Σk a[i*n+k]·b[k*n+j].
+// The write index i*n+j is the delinearization proof case.
+func MatMulFlat(c, a, b []float64, n int) {
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			var s float64
+			for k := 0; k < n; k++ {
+				s += a[i*n+k] * b[k*n+j]
+			}
+			c[i*n+j] = s
+		}
+	}
+}
+
+// JacobiSweep performs one Jacobi relaxation sweep of the 1-D Poisson
+// stencil into next, reading only x and b — the out-of-place form whose
+// iterations are independent (the in-place form is not).
+func JacobiSweep(next, x, b []float64) {
+	for i := 0; i < len(next); i++ {
+		var s float64
+		if i > 0 {
+			s += x[i-1]
+		}
+		if i+1 < len(x) {
+			s += x[i+1]
+		}
+		next[i] = 0.5 * (s + b[i])
+	}
+}
+
+// Forces computes an O(n²) pairwise 1-D force sum per particle. The
+// accumulator is function-call free and iteration-private.
+func Forces(out, pos []float64) {
+	for i := range out {
+		var f float64
+		for j := range pos {
+			if j != i {
+				d := pos[j] - pos[i]
+				f += d / (1 + d*d)
+			}
+		}
+		out[i] = f
+	}
+}
+
+// PageRankStep applies one damped PageRank update from rank into next
+// for a regular graph where every vertex has out-degree deg[v].
+func PageRankStep(next, rank []float64, deg []int) {
+	for i := 0; i < len(next); i++ {
+		next[i] = 0.15 + 0.85*rank[i]/float64(deg[i])
+	}
+}
+
+// ComponentsSweep performs one label-propagation sweep: each vertex
+// takes the max label over itself and its neighbors. maxNeighbor
+// exercises the call-purity layer.
+func ComponentsSweep(next, label []int, adj [][]int) {
+	for i := range next {
+		next[i] = maxNeighbor(label[i], label, adj[i])
+	}
+}
+
+func maxNeighbor(m int, label []int, nbrs []int) int {
+	for _, w := range nbrs {
+		if label[w] > m {
+			m = label[w]
+		}
+	}
+	return m
+}
+
+// SpinSum folds n splitmix64 outputs into a uint64 — an exactly
+// associative reduction, so the parallel rewrite is checksum-identical.
+func SpinSum(n int, seed uint64) uint64 {
+	var acc uint64
+	for i := 0; i < n; i++ {
+		z := seed + uint64(i)*0x9e3779b97f4a7c15
+		z ^= z >> 30
+		z *= 0xbf58476d1ce4e5b9
+		z ^= z >> 27
+		acc += z
+	}
+	return acc
+}
+
+// Dot is the integer dot product — the range-loop reduction form.
+func Dot(a, b []int64) int64 {
+	var s int64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}

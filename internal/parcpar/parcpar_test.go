@@ -1,0 +1,183 @@
+package parcpar
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"parc751/internal/parcvet/loader"
+	"parc751/internal/parcvet/vettest"
+)
+
+func moduleRootOrSkip(t *testing.T) string {
+	t.Helper()
+	root, err := loader.FindModuleRoot(".")
+	if err != nil {
+		t.Skipf("no module root: %v", err)
+	}
+	return root
+}
+
+// TestGolden checks the fixture package in Explain mode against its
+// `// want` comments through the shared vettest harness: all findings
+// expected, all expectations found.
+func TestGolden(t *testing.T) {
+	root := moduleRootOrSkip(t)
+	l, err := loader.New(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(root, "internal", "parcpar", "testdata", "src", "parcpar")
+	pkg, err := l.LoadDir(dir, "parcpartest/parcpar")
+	if err != nil {
+		t.Fatalf("loading fixture package: %v", err)
+	}
+	_, findings := AnalyzePackage(l, pkg, Options{Explain: true})
+	vettest.CheckWants(t, l.Fset(), pkg.Files, findings)
+}
+
+// TestAutogenClassification pins the verdict for every loop in the
+// autogen fixture kernels by enclosing function: the positives must be
+// accepted (and rewritable), the negatives rejected for the planned
+// reason.
+func TestAutogenClassification(t *testing.T) {
+	root := moduleRootOrSkip(t)
+	l, err := loader.New(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(root, "internal", "parcpar", "autogen", "seq")
+	pkg, err := l.LoadDir(dir, "parc751/internal/parcpar/autogen/seq")
+	if err != nil {
+		t.Fatal(err)
+	}
+	loops, _ := AnalyzePackage(l, pkg, Options{Explain: true})
+
+	want := map[string]Class{
+		"MatMulFlat":      ClassParallel,
+		"JacobiSweep":     ClassParallel,
+		"Forces":          ClassParallel,
+		"PageRankStep":    ClassParallel,
+		"ComponentsSweep": ClassParallel,
+		"SpinSum":         ClassReduction,
+		"Dot":             ClassReduction,
+		"maxNeighbor":     ClassDependence, // helper's own max loop is sequential
+		"PrefixSum":       ClassDependence,
+		"Shift":           ClassDependence,
+		"SumUntilNeg":     ClassEarlyExit,
+		"FindIndex":       ClassEarlyExit,
+		"LogEach":         ClassImpure,
+		"Scale3":          ClassBelowThreshold,
+		"RunningMax":      ClassDependence,
+		"Histogram":       ClassDependence,
+	}
+	got := map[string]Class{}
+	for _, lp := range loops {
+		if prev, dup := got[lp.Func]; dup && prev != lp.Class {
+			t.Errorf("%s: loops with mixed classes %s and %s", lp.Func, prev, lp.Class)
+		}
+		got[lp.Func] = lp.Class
+	}
+	for fn, class := range want {
+		if g, ok := got[fn]; !ok {
+			t.Errorf("%s: no loop classified (want %s)", fn, class)
+		} else if g != class {
+			t.Errorf("%s: classified %s, want %s", fn, g, class)
+		}
+	}
+	for fn := range got {
+		if _, ok := want[fn]; !ok {
+			t.Errorf("%s: unexpected candidate loop (classified %s)", fn, got[fn])
+		}
+	}
+
+	// Every accepted positive must also be mechanically rewritable.
+	for _, lp := range loops {
+		if lp.Class == ClassParallel || lp.Class == ClassReduction {
+			if !lp.Rewritable() {
+				t.Errorf("%s: accepted but not rewritable", lp.Func)
+			}
+		}
+	}
+}
+
+// TestRepoKernelsClassified asserts the analyzer finds the repo's own
+// sequential kernels: every function the paper's ablations parallelize
+// by hand must be flagged as an opportunity when analyzed cold.
+func TestRepoKernelsClassified(t *testing.T) {
+	root := moduleRootOrSkip(t)
+	l, err := loader.New(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := l.LoadDir(filepath.Join(root, "internal", "kernels"), "parc751/internal/kernels")
+	if err != nil {
+		t.Fatal(err)
+	}
+	loops, _ := AnalyzePackage(l, pkg, Options{})
+
+	accepted := map[string]bool{}
+	for _, lp := range loops {
+		if lp.Class == ClassParallel || lp.Class == ClassReduction {
+			accepted[lp.Func] = true
+		}
+	}
+	for _, fn := range []string{
+		"MatMulSequential",                    // row-view outer loop
+		"(*MDSystem).ComputeForcesSequential", // pure-callee field-disjoint writes
+		"(*MDSystem).KineticEnergy",           // float sum reduction
+		"(*MDSystem).PotentialEnergy",         // float sum reduction
+	} {
+		if !accepted[fn] {
+			t.Errorf("expected %s to be flagged parallelizable; accepted set: %v", fn, accepted)
+		}
+	}
+}
+
+// TestFindingsContract checks the report-level surface: default mode
+// emits only parallelizable findings, Explain adds the rejection rules,
+// and everything is a warning (repo-wide runs exit 0).
+func TestFindingsContract(t *testing.T) {
+	root := moduleRootOrSkip(t)
+	fsDefault, err := Run(root, []string{"./internal/parcpar/autogen/seq"}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range fsDefault {
+		if f.Rule != "parallelizable" {
+			t.Errorf("default mode leaked rule %q: %+v", f.Rule, f)
+		}
+		if f.Severity.String() != "warning" {
+			t.Errorf("parcpar finding with severity %v, want warning", f.Severity)
+		}
+		if f.Tool != "parcpar" {
+			t.Errorf("finding tool %q, want parcpar", f.Tool)
+		}
+		if !strings.HasPrefix(f.Pos, "internal/parcpar/autogen/seq/") {
+			t.Errorf("position %q is not module-relative", f.Pos)
+		}
+	}
+	fsExplain, err := Run(root, []string{"./internal/parcpar/autogen/seq"}, Options{Explain: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fsExplain) <= len(fsDefault) {
+		t.Errorf("Explain mode should add rejection findings: %d vs %d", len(fsExplain), len(fsDefault))
+	}
+}
+
+// TestDefaultTable sanity-checks the embedded probe table.
+func TestDefaultTable(t *testing.T) {
+	tab := DefaultTable()
+	if tab.ForkJoinNs <= 0 || tab.WorthFactor <= 0 || tab.DefaultTrip <= 0 {
+		t.Fatalf("embedded table has non-positive core fields: %+v", tab)
+	}
+	for _, class := range []string{"int_arith", "float_arith", "mem_index", "branch", "call_pure", "stmt"} {
+		if tab.OpNs[class] <= 0 {
+			t.Errorf("op class %q missing or non-positive in embedded table", class)
+		}
+	}
+	if !strings.Contains(tab.Provenance, "BENCH_7.json") {
+		t.Errorf("provenance lost its measurement source: %q", tab.Provenance)
+	}
+}

@@ -1,0 +1,96 @@
+package parcpar
+
+import (
+	"go/format"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestRegenerateByteIdentical regenerates the committed autogen/par
+// package from autogen/seq into a scratch dir and requires byte
+// identity — the committed rewrite output can never drift from what the
+// rewriter produces.
+func TestRegenerateByteIdentical(t *testing.T) {
+	root := moduleRootOrSkip(t)
+	srcDir := filepath.Join(root, "internal", "parcpar", "autogen", "seq")
+	parDir := filepath.Join(root, "internal", "parcpar", "autogen", "par")
+	outDir := t.TempDir()
+
+	written, err := GenerateDir(root, srcDir, outDir, "par")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(written) == 0 {
+		t.Fatal("rewriter generated no files from autogen/seq")
+	}
+
+	committed, err := os.ReadDir(parDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var committedNames []string
+	for _, e := range committed {
+		if filepath.Ext(e.Name()) == ".go" {
+			committedNames = append(committedNames, e.Name())
+		}
+	}
+	if len(committedNames) != len(written) {
+		t.Fatalf("committed par has %v, regeneration produced %v", committedNames, written)
+	}
+	for _, name := range written {
+		got, err := os.ReadFile(filepath.Join(outDir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := os.ReadFile(filepath.Join(parDir, name))
+		if err != nil {
+			t.Fatalf("regenerated %s is not committed: %v", name, err)
+		}
+		if string(got) != string(want) {
+			t.Errorf("%s: committed file differs from regeneration; run:\n  go run ./cmd/parcpar -o internal/parcpar/autogen/par -pkg par internal/parcpar/autogen/seq", name)
+		}
+	}
+}
+
+// TestRewriteOutputFormatted requires every generated file to be
+// gofmt-clean — the textual patcher must produce idiomatic output, not
+// merely compiling output.
+func TestRewriteOutputFormatted(t *testing.T) {
+	root := moduleRootOrSkip(t)
+	outDir := t.TempDir()
+	written, err := GenerateDir(root, filepath.Join(root, "internal", "parcpar", "autogen", "seq"), outDir, "par")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range written {
+		src, err := os.ReadFile(filepath.Join(outDir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		formatted, err := format.Source(src)
+		if err != nil {
+			t.Fatalf("%s does not parse: %v", name, err)
+		}
+		if string(formatted) != string(src) {
+			t.Errorf("%s is not gofmt-clean", name)
+		}
+	}
+}
+
+// TestNoNegativesRewritten checks the rewriter's selectivity: the
+// negatives file contains no rewritable loop, so it must not appear in
+// the generated package.
+func TestNoNegativesRewritten(t *testing.T) {
+	root := moduleRootOrSkip(t)
+	outDir := t.TempDir()
+	written, err := GenerateDir(root, filepath.Join(root, "internal", "parcpar", "autogen", "seq"), outDir, "par")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range written {
+		if name == "negatives.go" {
+			t.Error("negatives.go was rewritten; every loop in it must be rejected")
+		}
+	}
+}

@@ -39,6 +39,10 @@ type Graph struct {
 type builder struct {
 	g      *Graph
 	labels map[string]*labelInfo
+	// pendingLabel is the label wrapping the loop statement about to be
+	// built; the loop's own case fills in the label's continue target
+	// (which for a 3-clause for is the post statement, known only there).
+	pendingLabel *labelInfo
 }
 
 type labelInfo struct {
@@ -100,15 +104,19 @@ func (b *builder) stmt(s ast.Stmt, next, brk, cont *Node) *Node {
 
 	case *ast.LabeledStmt:
 		li := b.labels[s.Label.Name]
-		// Expose the label's break/continue targets to labeled branch
-		// statements inside the labeled construct — before building the
-		// body, which is where those branches get wired.
+		// Expose the label's break target to labeled branch statements
+		// inside the labeled construct — before building the body, which
+		// is where those branches get wired. The continue target depends
+		// on the loop's shape (a 3-clause for continues at its post
+		// statement, not its head), so the loop case fills it in via
+		// pendingLabel.
 		li.brk = next
 		switch s.Stmt.(type) {
 		case *ast.ForStmt, *ast.RangeStmt:
-			li.cont = b.node(s.Stmt)
+			b.pendingLabel = li
 		}
 		inner := b.stmt(s.Stmt, next, brk, cont)
+		b.pendingLabel = nil
 		li.node.Succs = appendUnique(li.node.Succs, inner)
 		return li.node
 
@@ -131,6 +139,11 @@ func (b *builder) stmt(s ast.Stmt, next, brk, cont *Node) *Node {
 			post = b.stmt(s.Post, n, nil, nil)
 			backEdge = post
 		}
+		if li := b.pendingLabel; li != nil {
+			// continue L runs the post statement, same as plain continue.
+			li.cont = backEdge
+			b.pendingLabel = nil
+		}
 		body := b.stmt(s.Body, backEdge, next, backEdge)
 		n.Succs = appendUnique(n.Succs, body)
 		if s.Cond != nil {
@@ -140,6 +153,10 @@ func (b *builder) stmt(s ast.Stmt, next, brk, cont *Node) *Node {
 
 	case *ast.RangeStmt:
 		n := b.node(s)
+		if li := b.pendingLabel; li != nil {
+			li.cont = n // range loops continue at the head (next element)
+			b.pendingLabel = nil
+		}
 		body := b.stmt(s.Body, n, next, n)
 		n.Succs = appendUnique(n.Succs, body)
 		n.Succs = appendUnique(n.Succs, next) // empty range

@@ -171,6 +171,141 @@ func TestSwitchFallthrough(t *testing.T) {
 	}
 }
 
+func TestLabeledContinueHitsPost(t *testing.T) {
+	body, find := parseBody(t, `
+	x := a
+L:
+	for i := 0; i < b; i++ {
+		for j := 0; j < b; j++ {
+			if a > 0 {
+				continue L
+			}
+			x++
+		}
+	}
+	return x`)
+	g := New(body)
+	// continue L transfers to the OUTER loop's post statement (i++), not
+	// its head: from the continue there is no path to the exit that skips
+	// i++.
+	if g.CanReachExitAvoiding(find("continue L"), avoidContaining(find, "i++")) {
+		t.Error("continue L claimed a path to exit that skips the outer post statement")
+	}
+	// But it does skip the rest of the inner loop: j++ is avoidable.
+	if !g.CanReachExitAvoiding(find("continue L"), avoidContaining(find, "j++")) {
+		t.Error("continue L should bypass the inner loop's post statement")
+	}
+}
+
+func TestLabeledBreakLeavesOuterLoop(t *testing.T) {
+	body, find := parseBody(t, `
+	x := a
+L:
+	for i := 0; i < b; i++ {
+		for j := 0; j < b; j++ {
+			if a > 0 {
+				break L
+			}
+			x++
+		}
+	}
+	return x`)
+	g := New(body)
+	// break L jumps past both loops straight to the return: neither post
+	// statement is on the path.
+	if g.CanReachExitAvoiding(find("break L"), avoidContaining(find, "return x")) {
+		t.Error("break L claimed to bypass the final return")
+	}
+	if !g.CanReachExitAvoiding(find("break L"), avoidContaining(find, "i++")) {
+		t.Error("break L should not pass the outer post statement")
+	}
+	if !g.CanReachExitAvoiding(find("break L"), avoidContaining(find, "j++")) {
+		t.Error("break L should not pass the inner post statement")
+	}
+}
+
+func TestRangeLoopEdges(t *testing.T) {
+	body, find := parseBody(t, `
+	x := a
+	xs := []int{1, 2, 3}
+	for _, v := range xs {
+		if v > 0 {
+			continue
+		}
+		x += v
+	}
+	return x`)
+	g := New(body)
+	// A range loop may iterate zero times: from before the loop the body is
+	// avoidable, but the return is not.
+	if g.CanReachExitAvoiding(find("x := a"), avoidContaining(find, "return x")) {
+		t.Error("range loop claimed a path around the return")
+	}
+	if !g.CanReachExitAvoiding(find("x := a"), avoidContaining(find, "x += v")) {
+		t.Error("empty-range edge missing: body should be avoidable")
+	}
+	// continue targets the range head: from the continue, exit is reachable
+	// only through the head, then the return.
+	if g.CanReachExitAvoiding(find("continue"), avoidContaining(find, "for _, v := range xs")) {
+		t.Error("continue in range should return to the loop head")
+	}
+	if !g.CanReachExitAvoiding(find("continue"), avoidContaining(find, "x += v")) {
+		t.Error("continue should skip the rest of the body")
+	}
+}
+
+func TestLabeledRangeContinue(t *testing.T) {
+	body, find := parseBody(t, `
+	x := a
+	xs := []int{1, 2, 3}
+L:
+	for _, v := range xs {
+		for j := 0; j < b; j++ {
+			if v > 0 {
+				continue L
+			}
+			x++
+		}
+	}
+	return x`)
+	g := New(body)
+	// continue L on a range loop goes back to the range head.
+	if g.CanReachExitAvoiding(find("continue L"), avoidContaining(find, "for _, v := range xs")) {
+		t.Error("continue L should pass through the range head")
+	}
+	if !g.CanReachExitAvoiding(find("continue L"), avoidContaining(find, "j++")) {
+		t.Error("continue L should bypass the inner loop post")
+	}
+}
+
+func TestGotoFreeNesting(t *testing.T) {
+	body, find := parseBody(t, `
+	x := a
+	for i := 0; i < b; i++ {
+		switch {
+		case a > 0:
+			for j := 0; j < b; j++ {
+				if b > 1 {
+					break
+				}
+				x++
+			}
+		default:
+			x--
+		}
+	}
+	return x`)
+	g := New(body)
+	// The unlabeled break leaves only the inner loop: every path from it
+	// still passes the outer post statement before the return.
+	if g.CanReachExitAvoiding(find("break"), avoidContaining(find, "i++")) {
+		t.Error("unlabeled break claimed to escape the outer loop")
+	}
+	if g.CanReachExitAvoiding(find("x := a"), avoidContaining(find, "return x")) {
+		t.Error("nesting claimed a path around the return")
+	}
+}
+
 func TestUnknownStatementIsSilent(t *testing.T) {
 	body, _ := parseBody(t, `
 	return a`)

@@ -1,18 +1,13 @@
 package parcvet
 
 import (
-	"fmt"
-	"go/ast"
-	"go/token"
 	"path/filepath"
-	"regexp"
-	"strconv"
 	"strings"
 	"testing"
 
 	"parc751/internal/parcvet/analysis"
 	"parc751/internal/parcvet/loader"
-	"parc751/internal/report"
+	"parc751/internal/parcvet/vettest"
 )
 
 // TestGolden runs each analyzer alone over its fixture package under
@@ -34,7 +29,7 @@ func TestGolden(t *testing.T) {
 				t.Fatalf("loading fixture package: %v", err)
 			}
 			findings := AnalyzePackage(l, pkg, []*analysis.Analyzer{an})
-			checkWants(t, l.Fset(), pkg.Files, findings)
+			vettest.CheckWants(t, l.Fset(), pkg.Files, findings)
 		})
 	}
 }
@@ -108,73 +103,4 @@ func moduleRootOrSkip(t *testing.T) string {
 		t.Skipf("no module root: %v", err)
 	}
 	return root
-}
-
-var wantRe = regexp.MustCompile("// want `([^`]*)`")
-
-// checkWants cross-checks findings against `// want` comments.
-func checkWants(t *testing.T, fset *token.FileSet, files []*ast.File, findings []report.Finding) {
-	t.Helper()
-	type key struct {
-		file string
-		line int
-	}
-	wants := map[key][]*regexp.Regexp{}
-	for _, f := range files {
-		for _, cg := range f.Comments {
-			for _, c := range cg.List {
-				m := wantRe.FindStringSubmatch(c.Text)
-				if m == nil {
-					continue
-				}
-				re, err := regexp.Compile(m[1])
-				if err != nil {
-					t.Fatalf("bad want regexp %q: %v", m[1], err)
-				}
-				posn := fset.Position(c.Pos())
-				k := key{filepath.Base(posn.Filename), posn.Line}
-				wants[k] = append(wants[k], re)
-			}
-		}
-	}
-
-	matched := map[*regexp.Regexp]bool{}
-	for _, f := range findings {
-		file, line, err := splitPos(f.Pos)
-		if err != nil {
-			t.Errorf("unparseable finding position %q", f.Pos)
-			continue
-		}
-		k := key{file, line}
-		found := false
-		for _, re := range wants[k] {
-			if re.MatchString(f.Detail) {
-				matched[re] = true
-				found = true
-			}
-		}
-		if !found {
-			t.Errorf("unexpected finding at %s: %s", f.Pos, f.Detail)
-		}
-	}
-	for k, res := range wants {
-		for _, re := range res {
-			if !matched[re] {
-				t.Errorf("%s:%d: expected finding matching %q, got none", k.file, k.line, re)
-			}
-		}
-	}
-}
-
-// splitPos parses "path:line:col" (also tolerating "path:line").
-func splitPos(pos string) (string, int, error) {
-	parts := strings.Split(pos, ":")
-	if len(parts) < 2 {
-		return "", 0, fmt.Errorf("no line in %q", pos)
-	}
-	line, err := strconv.Atoi(parts[1])
-	if err != nil {
-		return "", 0, err
-	}
-	return filepath.Base(parts[0]), line, nil
 }

@@ -1,0 +1,116 @@
+// Package vettest is the shared golden-fixture harness for the repo's
+// static-analysis suites (parcvet, parcpar). Fixture files under
+// testdata/src/<name> carry `// want `regexp“ comments; CheckWants
+// cross-checks a run's findings against them and reports *every*
+// mismatch — all unexpected findings and all unmatched expectations,
+// in deterministic (file, line, pattern) order — so a fixture edit
+// yields one complete diff instead of a first-failure breadcrumb trail.
+package vettest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"parc751/internal/report"
+)
+
+// WantRe matches a `// want `regexp“ fixture expectation.
+var WantRe = regexp.MustCompile("// want `([^`]*)`")
+
+type wantKey struct {
+	file string
+	line int
+}
+
+type want struct {
+	key wantKey
+	re  *regexp.Regexp
+}
+
+// CheckWants cross-checks findings against the fixtures' `// want`
+// comments: every want must be matched by a finding's Detail on its
+// line, and every finding must be expected by a want. All mismatches
+// are reported (sorted by position) before the test fails.
+func CheckWants(t testing.TB, fset *token.FileSet, files []*ast.File, findings []report.Finding) {
+	t.Helper()
+
+	var wants []want
+	byKey := map[wantKey][]*want{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := WantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				re, err := regexp.Compile(m[1])
+				if err != nil {
+					t.Fatalf("bad want regexp %q: %v", m[1], err)
+				}
+				posn := fset.Position(c.Pos())
+				wants = append(wants, want{wantKey{filepath.Base(posn.Filename), posn.Line}, re})
+			}
+		}
+	}
+	for i := range wants {
+		byKey[wants[i].key] = append(byKey[wants[i].key], &wants[i])
+	}
+
+	matched := map[*want]bool{}
+	var unexpected []string
+	for _, f := range findings {
+		file, line, err := splitPos(f.Pos)
+		if err != nil {
+			unexpected = append(unexpected, fmt.Sprintf("unparseable finding position %q", f.Pos))
+			continue
+		}
+		found := false
+		for _, w := range byKey[wantKey{file, line}] {
+			if w.re.MatchString(f.Detail) {
+				matched[w] = true
+				found = true
+			}
+		}
+		if !found {
+			unexpected = append(unexpected, fmt.Sprintf("unexpected finding at %s: %s", f.Pos, f.Detail))
+		}
+	}
+
+	var unmatched []string
+	for i := range wants {
+		w := &wants[i]
+		if !matched[w] {
+			unmatched = append(unmatched, fmt.Sprintf("%s:%d: expected finding matching %q, got none", w.key.file, w.key.line, w.re))
+		}
+	}
+
+	sort.Strings(unexpected)
+	sort.Strings(unmatched)
+	for _, msg := range unexpected {
+		t.Errorf("%s", msg)
+	}
+	for _, msg := range unmatched {
+		t.Errorf("%s", msg)
+	}
+}
+
+// splitPos parses "path:line:col" (also tolerating "path:line") into
+// the base filename and line number.
+func splitPos(pos string) (string, int, error) {
+	parts := strings.Split(pos, ":")
+	if len(parts) < 2 {
+		return "", 0, fmt.Errorf("no line in %q", pos)
+	}
+	line, err := strconv.Atoi(parts[1])
+	if err != nil {
+		return "", 0, err
+	}
+	return filepath.Base(parts[0]), line, nil
+}
