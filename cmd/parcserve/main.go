@@ -13,8 +13,9 @@
 //
 //	POST /jobs/{kind}   submit a job (kinds: sort, textsearch, pdfsearch,
 //	                    thumbs, matmul, webfetch, spin)
-//	GET  /statz         runtime observability snapshot (JSON)
-//	GET  /healthz       liveness (503 while draining)
+//	GET  /statz         runtime observability snapshot (JSON, incl. node_id)
+//	GET  /healthz       liveness (always 200 while the process serves)
+//	GET  /readyz        readiness (503 from the moment drain begins)
 //
 // On SIGINT/SIGTERM the server drains: intake answers 503, in-flight
 // jobs finish, batch tails flush, then the worker pool stops. A second
@@ -47,6 +48,8 @@ func main() {
 		batchN  = flag.Int("batch-max", 16, "small-job batch size bound")
 		batchD  = flag.Duration("batch-delay", 2*time.Millisecond, "small-job batch delay bound")
 		drainD  = flag.Duration("drain", 30*time.Second, "graceful-drain budget on shutdown")
+		nodeID  = flag.String("node-id", "", "node identity reported by /statz, /healthz, /readyz (default \"solo\")")
+		graceD  = flag.Duration("drain-grace", 500*time.Millisecond, "how long /readyz flips 503 before intake closes on drain")
 	)
 	flag.Parse()
 
@@ -59,6 +62,8 @@ func main() {
 		MaxDeadline:     *maxDl,
 		BatchMax:        *batchN,
 		BatchDelay:      *batchD,
+		NodeID:          *nodeID,
+		DrainGrace:      *graceD,
 	})
 
 	httpSrv := &http.Server{Addr: *addr, Handler: srv}

@@ -1,0 +1,130 @@
+package parccluster
+
+import "sort"
+
+// ring is a consistent-hash ring over node ids. Each node owns Replicas
+// virtual points; a key's primary is the first point clockwise from the
+// key's hash. Consistent hashing is what makes the shard map stable
+// under membership change: adding or removing one node moves only the
+// keys in that node's arcs, so a restart does not reshuffle every kind's
+// home — the cache-locality argument, but for job routing.
+//
+// The ring is not safe for concurrent use; the Router guards it with its
+// membership mutex. Dead nodes stay on the ring (the Router filters at
+// pick time), so a node that restarts reclaims exactly its old arcs.
+type ring struct {
+	replicas int
+	points   []ringPoint // sorted by hash
+	nodes    map[string]bool
+}
+
+type ringPoint struct {
+	hash uint64
+	node string
+}
+
+func newRing(replicas int) *ring {
+	if replicas <= 0 {
+		replicas = 64
+	}
+	return &ring{replicas: replicas, nodes: map[string]bool{}}
+}
+
+// hash64 is FNV-1a over s — stable across processes, which keeps shard
+// maps identical on every router that sees the same membership.
+func hash64(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// add inserts node's virtual points. Adding a present node is a no-op.
+func (r *ring) add(node string) {
+	if r.nodes[node] {
+		return
+	}
+	r.nodes[node] = true
+	for i := 0; i < r.replicas; i++ {
+		r.points = append(r.points, ringPoint{
+			hash: hash64(node + "#" + itoaSmallRing(i)),
+			node: node,
+		})
+	}
+	sort.Slice(r.points, func(i, j int) bool { return r.points[i].hash < r.points[j].hash })
+}
+
+// remove deletes node's virtual points.
+func (r *ring) remove(node string) {
+	if !r.nodes[node] {
+		return
+	}
+	delete(r.nodes, node)
+	kept := r.points[:0]
+	for _, p := range r.points {
+		if p.node != node {
+			kept = append(kept, p)
+		}
+	}
+	r.points = kept
+}
+
+// primary returns the node owning key, or "" on an empty ring.
+func (r *ring) primary(key string) string {
+	if len(r.points) == 0 {
+		return ""
+	}
+	h := hash64(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].node
+}
+
+// preference returns every member node in ring order starting from key's
+// primary — the deterministic fallback order before load enters the
+// picture.
+func (r *ring) preference(key string) []string {
+	if len(r.points) == 0 {
+		return nil
+	}
+	h := hash64(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	seen := map[string]bool{}
+	out := make([]string, 0, len(r.nodes))
+	for i := 0; i < len(r.points) && len(out) < len(r.nodes); i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.node] {
+			seen[p.node] = true
+			out = append(out, p.node)
+		}
+	}
+	return out
+}
+
+// members returns the node set in sorted order.
+func (r *ring) members() []string {
+	out := make([]string, 0, len(r.nodes))
+	for n := range r.nodes {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func itoaSmallRing(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

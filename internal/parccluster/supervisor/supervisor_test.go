@@ -1,0 +1,412 @@
+// Restart-delay tests in the style of juju's runner_test.go (SNIPPETS.md
+// Snippet 2): a test task whose death the test controls, assertions on
+// started/stopped transitions, and — stricter than the original, which
+// patched RestartDelay to zero — a ManualClock, so backoff behaviour is
+// asserted exactly without any test ever sleeping through a real delay.
+//
+// These tests are written to fail against a no-op supervisor: restarts
+// must actually happen (TestNonFatalRestart...), fatal errors must
+// actually stop the runner and surface (TestFatal...), and the
+// crash-loop circuit must actually retire the task (TestCrashLoop...).
+package supervisor
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func noneFatal(error) bool { return false }
+func allFatal(error) bool  { return true }
+
+// testTask is a controllable supervised task: the test makes it die by
+// sending on die; Stop makes Wait return nil.
+type testTask struct {
+	die  chan error
+	stop chan struct{}
+	once sync.Once
+}
+
+func (t *testTask) Stop() { t.once.Do(func() { close(t.stop) }) }
+
+func (t *testTask) Wait() error {
+	select {
+	case err := <-t.die:
+		return err
+	case <-t.stop:
+		return nil
+	}
+}
+
+// testStarter hands each started incarnation to the test.
+type testStarter struct {
+	mu       sync.Mutex
+	startErr error
+	starts   int
+	started  chan *testTask
+}
+
+func newTestStarter() *testStarter {
+	return &testStarter{started: make(chan *testTask, 16)}
+}
+
+func (s *testStarter) start() (Task, error) {
+	s.mu.Lock()
+	s.starts++
+	err := s.startErr
+	s.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	t := &testTask{die: make(chan error), stop: make(chan struct{})}
+	s.started <- t
+	return t, nil
+}
+
+func (s *testStarter) startCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.starts
+}
+
+// assertStarted waits for the next incarnation.
+func (s *testStarter) assertStarted(t *testing.T) *testTask {
+	t.Helper()
+	select {
+	case tk := <-s.started:
+		return tk
+	case <-time.After(5 * time.Second):
+		t.Fatal("task was not started")
+		return nil
+	}
+}
+
+// assertNotStarted asserts no new incarnation appears within a short
+// grace period (the clock is manual, so nothing legitimate is pending).
+func (s *testStarter) assertNotStarted(t *testing.T) {
+	t.Helper()
+	select {
+	case <-s.started:
+		t.Fatal("task was restarted before its backoff elapsed")
+	case <-time.After(50 * time.Millisecond):
+	}
+}
+
+// waitBackoffArmed blocks until the runner is parked in its backoff wait.
+func waitBackoffArmed(t *testing.T, clk *ManualClock) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for clk.Waiters() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("runner never armed a backoff timer")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+const testDelay = 100 * time.Millisecond
+
+func newTestRunner(clk *ManualClock, isFatal func(error) bool, crashK int, onEvent func(Event)) *Runner {
+	return NewRunner(Config{
+		IsFatal:         isFatal,
+		RestartDelay:    testDelay,
+		MaxDelay:        time.Second,
+		CrashLoopK:      crashK,
+		CrashLoopWindow: 30 * time.Second,
+		Clock:           clk,
+		OnEvent:         onEvent,
+	})
+}
+
+func TestOneTaskStartStop(t *testing.T) {
+	clk := NewManualClock(time.Unix(0, 0))
+	r := newTestRunner(clk, noneFatal, -1, nil)
+	s := newTestStarter()
+	if err := r.StartTask("id", s.start); err != nil {
+		t.Fatal(err)
+	}
+	s.assertStarted(t)
+	if err := r.Stop(); err != nil {
+		t.Fatalf("Stop: %v", err)
+	}
+	if got := s.startCount(); got != 1 {
+		t.Fatalf("starts = %d, want 1", got)
+	}
+}
+
+func TestNonFatalRestartAfterBackoff(t *testing.T) {
+	clk := NewManualClock(time.Unix(0, 0))
+	r := newTestRunner(clk, noneFatal, -1, nil)
+	s := newTestStarter()
+	if err := r.StartTask("id", s.start); err != nil {
+		t.Fatal(err)
+	}
+	tk := s.assertStarted(t)
+
+	tk.die <- errors.New("non-fatal crash")
+	waitBackoffArmed(t, clk)
+	// Before the backoff elapses there must be no restart: advance well
+	// under the jittered minimum (0.75 × delay).
+	clk.Advance(testDelay / 2)
+	s.assertNotStarted(t)
+	// Past the jittered maximum (1.25 × delay) the restart must happen.
+	clk.Advance(testDelay)
+	s.assertStarted(t)
+	if got := s.startCount(); got != 2 {
+		t.Fatalf("starts = %d, want 2", got)
+	}
+	if err := r.Stop(); err != nil {
+		t.Fatalf("Stop: %v", err)
+	}
+}
+
+func TestBackoffGrowsExponentially(t *testing.T) {
+	clk := NewManualClock(time.Unix(0, 0))
+	var mu sync.Mutex
+	var delays []time.Duration
+	r := newTestRunner(clk, noneFatal, -1, func(e Event) {
+		if e.Kind == EventRestarting {
+			mu.Lock()
+			delays = append(delays, e.Delay)
+			mu.Unlock()
+		}
+	})
+	s := newTestStarter()
+	if err := r.StartTask("id", s.start); err != nil {
+		t.Fatal(err)
+	}
+	tk := s.assertStarted(t)
+	for i := 0; i < 3; i++ {
+		tk.die <- errors.New("crash")
+		waitBackoffArmed(t, clk)
+		clk.Advance(2 * time.Second) // past any jittered delay
+		tk = s.assertStarted(t)
+	}
+	_ = r.Stop()
+	mu.Lock()
+	defer mu.Unlock()
+	if len(delays) != 3 {
+		t.Fatalf("restarts = %d, want 3", len(delays))
+	}
+	// Nominal delays are d, 2d, 4d; jitter is ±25%, so consecutive
+	// jittered delays must still be strictly increasing.
+	for i := 1; i < len(delays); i++ {
+		if delays[i] <= delays[i-1] {
+			t.Fatalf("backoff did not grow: %v", delays)
+		}
+	}
+	lo, hi := testDelay*3/4, testDelay*5/4
+	if delays[0] < lo || delays[0] > hi {
+		t.Fatalf("first delay %v outside jitter band [%v, %v]", delays[0], lo, hi)
+	}
+}
+
+func TestFatalErrorNoRestartWaitReturnsIt(t *testing.T) {
+	clk := NewManualClock(time.Unix(0, 0))
+	r := newTestRunner(clk, allFatal, -1, nil)
+	s := newTestStarter()
+	if err := r.StartTask("id", s.start); err != nil {
+		t.Fatal(err)
+	}
+	tk := s.assertStarted(t)
+	dieErr := errors.New("error when running")
+	tk.die <- dieErr
+	if err := r.Wait(); err != dieErr {
+		t.Fatalf("Wait = %v, want %v", err, dieErr)
+	}
+	s.assertNotStarted(t)
+	if got := s.startCount(); got != 1 {
+		t.Fatalf("starts = %d, want 1 (fatal must not restart)", got)
+	}
+}
+
+func TestFatalStartErrorWaitReturnsIt(t *testing.T) {
+	clk := NewManualClock(time.Unix(0, 0))
+	r := newTestRunner(clk, allFatal, -1, nil)
+	s := newTestStarter()
+	s.startErr = errors.New("cannot start test task")
+	if err := r.StartTask("id", s.start); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Wait(); err != s.startErr {
+		t.Fatalf("Wait = %v, want %v", err, s.startErr)
+	}
+}
+
+func TestStopDuringBackoffWakesImmediately(t *testing.T) {
+	clk := NewManualClock(time.Unix(0, 0))
+	r := newTestRunner(clk, noneFatal, -1, nil)
+	s := newTestStarter()
+	if err := r.StartTask("id", s.start); err != nil {
+		t.Fatal(err)
+	}
+	tk := s.assertStarted(t)
+	tk.die <- errors.New("crash")
+	waitBackoffArmed(t, clk)
+	// The clock never advances: Stop alone must end the backoff wait.
+	done := make(chan error, 1)
+	go func() { done <- r.Stop() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Stop: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Stop hung: backoff wait did not wake on Stop")
+	}
+	s.assertNotStarted(t)
+}
+
+func TestStopTaskDuringBackoffWakesImmediately(t *testing.T) {
+	clk := NewManualClock(time.Unix(0, 0))
+	r := newTestRunner(clk, noneFatal, -1, nil)
+	s := newTestStarter()
+	if err := r.StartTask("id", s.start); err != nil {
+		t.Fatal(err)
+	}
+	tk := s.assertStarted(t)
+	tk.die <- errors.New("crash")
+	waitBackoffArmed(t, clk)
+	r.StopTask("id")
+	// The supervision goroutine must exit without a clock advance; a
+	// clean Stop afterwards proves nothing is still pending.
+	done := make(chan error, 1)
+	go func() { done <- r.Stop() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Stop: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("StopTask did not wake the backoff wait")
+	}
+	s.assertNotStarted(t)
+}
+
+func TestCrashLoopCircuitRetiresTask(t *testing.T) {
+	clk := NewManualClock(time.Unix(0, 0))
+	var mu sync.Mutex
+	var dead []Event
+	r := newTestRunner(clk, noneFatal, 3, func(e Event) {
+		if e.Kind == EventDead {
+			mu.Lock()
+			dead = append(dead, e)
+			mu.Unlock()
+		}
+	})
+	s := newTestStarter()
+	if err := r.StartTask("id", s.start); err != nil {
+		t.Fatal(err)
+	}
+	// Three rapid crashes (the manual clock never moves, so all fall in
+	// one window): two restarts, then the circuit retires the task.
+	tk := s.assertStarted(t)
+	for i := 0; i < 2; i++ {
+		tk.die <- errors.New("crash")
+		waitBackoffArmed(t, clk)
+		clk.Advance(2 * time.Second)
+		tk = s.assertStarted(t)
+	}
+	tk.die <- errors.New("crash")
+	// Dead: no further restart, however far the clock advances.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		mu.Lock()
+		n := len(dead)
+		mu.Unlock()
+		if n > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("crash-loop circuit never fired")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	clk.Advance(time.Minute)
+	s.assertNotStarted(t)
+	if got := s.startCount(); got != 3 {
+		t.Fatalf("starts = %d, want 3", got)
+	}
+	if ds := r.Dead(); len(ds) != 1 || ds[0] != "id" {
+		t.Fatalf("Dead() = %v, want [id]", ds)
+	}
+	mu.Lock()
+	if !errors.Is(dead[0].Err, ErrDead) {
+		t.Fatalf("dead event error %v does not wrap ErrDead", dead[0].Err)
+	}
+	mu.Unlock()
+	// A dead id may be restarted fresh (new incarnation, clean history).
+	if err := r.StartTask("id", s.start); err != nil {
+		t.Fatalf("restarting a dead id: %v", err)
+	}
+	s.assertStarted(t)
+	_ = r.Stop()
+}
+
+func TestHealthyRunResetsCrashHistory(t *testing.T) {
+	clk := NewManualClock(time.Unix(0, 0))
+	var mu sync.Mutex
+	var delays []time.Duration
+	r := newTestRunner(clk, noneFatal, 3, func(e Event) {
+		if e.Kind == EventRestarting {
+			mu.Lock()
+			delays = append(delays, e.Delay)
+			mu.Unlock()
+		}
+	})
+	s := newTestStarter()
+	if err := r.StartTask("id", s.start); err != nil {
+		t.Fatal(err)
+	}
+	tk := s.assertStarted(t)
+	// Two crashes, then an incarnation that outlives the crash-loop
+	// window: its death must restart from the base delay, not 4d, and
+	// must not trip the K=3 circuit.
+	for i := 0; i < 2; i++ {
+		tk.die <- errors.New("crash")
+		waitBackoffArmed(t, clk)
+		clk.Advance(2 * time.Second)
+		tk = s.assertStarted(t)
+	}
+	clk.Advance(31 * time.Second) // healthy run longer than the window
+	tk.die <- errors.New("crash")
+	waitBackoffArmed(t, clk)
+	clk.Advance(2 * time.Second)
+	s.assertStarted(t)
+	_ = r.Stop()
+	mu.Lock()
+	defer mu.Unlock()
+	if len(delays) != 3 {
+		t.Fatalf("restarts = %d, want 3 (circuit must not have fired)", len(delays))
+	}
+	lo, hi := testDelay*3/4, testDelay*5/4
+	if delays[2] < lo || delays[2] > hi {
+		t.Fatalf("post-healthy-run delay %v not reset to base band [%v, %v]", delays[2], lo, hi)
+	}
+}
+
+func TestStartTaskAfterStopRefused(t *testing.T) {
+	clk := NewManualClock(time.Unix(0, 0))
+	r := newTestRunner(clk, noneFatal, -1, nil)
+	if err := r.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.StartTask("id", newTestStarter().start); !errors.Is(err, ErrStopped) {
+		t.Fatalf("StartTask after Stop = %v, want ErrStopped", err)
+	}
+}
+
+func TestDuplicateStartRefused(t *testing.T) {
+	clk := NewManualClock(time.Unix(0, 0))
+	r := newTestRunner(clk, noneFatal, -1, nil)
+	s := newTestStarter()
+	if err := r.StartTask("id", s.start); err != nil {
+		t.Fatal(err)
+	}
+	s.assertStarted(t)
+	if err := r.StartTask("id", s.start); err == nil {
+		t.Fatal("duplicate StartTask succeeded")
+	}
+	_ = r.Stop()
+}

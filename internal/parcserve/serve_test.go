@@ -382,6 +382,93 @@ func TestServeStatz(t *testing.T) {
 	}
 }
 
+// TestServeHealthReadyIdentity covers the cluster-facing surface:
+// /healthz is pure liveness (200 even while draining), /readyz flips 503
+// at the start of drain — before intake closes (DrainGrace) — and both
+// /statz and the probes carry the configured node_id.
+func TestServeHealthReadyIdentity(t *testing.T) {
+	s := NewServer(Config{
+		Workers:       2,
+		MaxConcurrent: 2,
+		NodeID:        "node-test-7",
+		DrainGrace:    300 * time.Millisecond,
+	})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	get := func(path string) (int, map[string]any) {
+		t.Helper()
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		var body map[string]any
+		_ = json.NewDecoder(resp.Body).Decode(&body)
+		return resp.StatusCode, body
+	}
+
+	if code, body := get("/healthz"); code != 200 || body["node_id"] != "node-test-7" {
+		t.Fatalf("/healthz = %d %v, want 200 with node_id", code, body)
+	}
+	if code, body := get("/readyz"); code != 200 || body["status"] != "ready" {
+		t.Fatalf("/readyz = %d %v, want 200 ready", code, body)
+	}
+	var st Statz
+	resp, err := http.Get(ts.URL + "/statz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if st.NodeID != "node-test-7" || !st.Ready || st.Draining {
+		t.Fatalf("statz identity = %q ready=%v draining=%v, want node-test-7/true/false",
+			st.NodeID, st.Ready, st.Draining)
+	}
+
+	// Begin drain in the background; DrainGrace keeps intake open after
+	// readiness flips.
+	drainDone := make(chan error, 1)
+	go func() { drainDone <- s.Drain(10 * time.Second) }()
+	// Readiness must flip promptly (well inside the grace window).
+	flipDeadline := time.Now().Add(250 * time.Millisecond)
+	for {
+		code, _ := get("/readyz")
+		if code == http.StatusServiceUnavailable {
+			break
+		}
+		if time.Now().After(flipDeadline) {
+			t.Fatal("/readyz did not flip 503 at the start of drain")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// Liveness must NOT flip — a supervisor would otherwise kill a
+	// politely draining node.
+	if code, _ := get("/healthz"); code != 200 {
+		t.Fatalf("/healthz = %d during drain, want 200 (liveness != readiness)", code)
+	}
+	// Intake is still open during the grace window: a job submitted now
+	// must be accepted and execute, not bounce with 503.
+	if code, res, e := postJob(t, ts.URL, KindSpin, JobRequest{SpinMs: 1}); code != 200 || res == nil {
+		t.Fatalf("job during DrainGrace = %d (%v), want 200: readyz must flip before intake closes", code, e)
+	}
+	if err := <-drainDone; err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	// After drain completes, intake is closed and readiness still 503.
+	if code, _, _ := postJob(t, ts.URL, KindSpin, JobRequest{SpinMs: 1}); code != http.StatusServiceUnavailable {
+		t.Fatalf("job after drain = %d, want 503", code)
+	}
+	if code, _ := get("/readyz"); code != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz after drain = %d, want 503", code)
+	}
+	if code, _ := get("/healthz"); code != 200 {
+		t.Fatalf("/healthz after drain = %d, want 200", code)
+	}
+}
+
 // TestServeWebFetch runs the one non-hermetic kind against a local
 // upstream and checks fetch accounting plus breaker reporting.
 func TestServeWebFetch(t *testing.T) {

@@ -69,6 +69,15 @@ type Config struct {
 	BreakerCooldown  time.Duration
 	// Client issues webfetch requests (default http.DefaultClient).
 	Client *http.Client
+	// NodeID names this server instance in /statz, /healthz and /readyz —
+	// the identity the parccluster supervisor and router key on. Default
+	// "solo" (a standalone server).
+	NodeID string
+	// DrainGrace is how long /readyz advertises 503 before Drain actually
+	// closes intake (default 0). A fronting router that polls readiness
+	// gets that long to stop routing here, so in-flight routing decisions
+	// do not race the intake cutoff.
+	DrainGrace time.Duration
 }
 
 // DefaultConfig returns the production defaults.
@@ -107,6 +116,9 @@ func (c *Config) fill() {
 	}
 	if c.BreakerCooldown <= 0 {
 		c.BreakerCooldown = 10 * time.Second
+	}
+	if c.NodeID == "" {
+		c.NodeID = "solo"
 	}
 }
 
@@ -165,12 +177,16 @@ type Server struct {
 	admitted atomic.Int64
 	rejected atomic.Int64
 
-	// Drain: draining flips once under drainMu, which handlers read-lock
-	// around the check-then-register step so a handler can never slip
-	// past jobs.Wait (the classic Add-racing-Wait hazard).
-	drainMu  sync.RWMutex
-	draining atomic.Bool
-	jobs     sync.WaitGroup
+	// Drain: drainOnce makes Drain idempotent; notReady flips first (the
+	// /readyz surface, so a fronting router stops routing here), then —
+	// after DrainGrace — draining flips once under drainMu, which
+	// handlers read-lock around the check-then-register step so a handler
+	// can never slip past jobs.Wait (the classic Add-racing-Wait hazard).
+	drainMu   sync.RWMutex
+	drainOnce atomic.Bool
+	notReady  atomic.Bool
+	draining  atomic.Bool
+	jobs      sync.WaitGroup
 
 	sortBatch *batcher[sortIn, *JobResult]
 
@@ -201,6 +217,7 @@ func NewServer(cfg Config) *Server {
 	s.mux.HandleFunc("POST /jobs/{kind}", s.handleJob)
 	s.mux.HandleFunc("GET /statz", s.handleStatz)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	return s
 }
 
@@ -439,14 +456,37 @@ func (s *Server) recordRegion(st pyjama.RegionStats) {
 	s.regionMu.Unlock()
 }
 
+// handleHealthz is liveness: it answers 200 for as long as the process
+// can serve HTTP at all, draining included. A supervisor restarts a node
+// whose /healthz stops answering; it must NOT restart one that is merely
+// draining — that distinction is exactly liveness vs readiness.
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	if s.draining.Load() {
-		writeError(w, http.StatusServiceUnavailable, "draining")
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintf(w, "{\"status\":\"ok\",\"node_id\":%q}\n", s.cfg.NodeID)
+}
+
+// handleReadyz is readiness: 503 from the moment Drain begins — before
+// intake actually closes (Config.DrainGrace) — so a router polling it
+// stops sending work here without ever racing a 503 on a job it already
+// committed to this node.
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if s.notReady.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintf(w, "{\"status\":\"draining\",\"node_id\":%q}\n", s.cfg.NodeID)
 		return
 	}
 	w.WriteHeader(http.StatusOK)
-	fmt.Fprintln(w, "ok")
+	fmt.Fprintf(w, "{\"status\":\"ready\",\"node_id\":%q}\n", s.cfg.NodeID)
 }
+
+// NodeID returns the server's configured identity.
+func (s *Server) NodeID() string { return s.cfg.NodeID }
+
+// Ready reports whether the server is still accepting routed work (it
+// flips false at the start of Drain, DrainGrace before intake closes).
+func (s *Server) Ready() bool { return !s.notReady.Load() }
 
 // Drain gracefully stops the server: new jobs are refused with 503,
 // pending batch tails are flushed, in-flight jobs run to completion, and
@@ -454,13 +494,24 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 // on a clean drain the pool is left with no queued or running task and
 // the error is nil. Drain is idempotent.
 func (s *Server) Drain(d time.Duration) error {
-	s.drainMu.Lock()
-	already := !s.draining.CompareAndSwap(false, true)
-	s.drainMu.Unlock()
-	if already {
+	if !s.drainOnce.CompareAndSwap(false, true) {
 		return nil
 	}
 	deadline := time.Now().Add(d)
+	// Readiness flips first: /readyz answers 503 while intake is still
+	// open, giving a fronting router DrainGrace to route around this
+	// node before jobs start bouncing.
+	s.notReady.Store(true)
+	if s.cfg.DrainGrace > 0 {
+		grace := s.cfg.DrainGrace
+		if until := time.Until(deadline); grace > until/2 {
+			grace = until / 2 // never spend the whole budget being polite
+		}
+		time.Sleep(grace)
+	}
+	s.drainMu.Lock()
+	s.draining.Store(true)
+	s.drainMu.Unlock()
 	// Order matters: the batcher settles every accepted small job before
 	// jobs.Wait (their handlers are waiting on those futures), and the
 	// pool stops only after no handler can submit another task.

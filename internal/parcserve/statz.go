@@ -45,8 +45,10 @@ type BreakerStats struct {
 
 // Statz is the /statz document.
 type Statz struct {
+	NodeID    string                   `json:"node_id"`
 	UptimeMs  int64                    `json:"uptime_ms"`
 	Draining  bool                     `json:"draining"`
+	Ready     bool                     `json:"ready"`
 	Admission AdmissionStats           `json:"admission"`
 	Sched     sched.Snapshot           `json:"sched"`
 	Endpoints map[string]EndpointStats `json:"endpoints"`
@@ -58,8 +60,10 @@ type Statz struct {
 // Statz assembles the current observability snapshot.
 func (s *Server) Statz() Statz {
 	st := Statz{
+		NodeID:   s.cfg.NodeID,
 		UptimeMs: time.Since(s.started).Milliseconds(),
 		Draining: s.draining.Load(),
+		Ready:    !s.notReady.Load(),
 		Admission: AdmissionStats{
 			MaxConcurrent: s.cfg.MaxConcurrent,
 			MaxQueue:      s.cfg.MaxQueue,
