@@ -32,7 +32,7 @@ import (
 
 func main() {
 	var (
-		expID   = flag.String("e", "all", "experiment id (F1, F2, TASSESS, EALLOC, ELIKERT, P1..P10, A1, A6, A7, A8, A9, A10, A11) or 'all'")
+		expID   = flag.String("e", "all", "experiment id (F1, F2, TASSESS, EALLOC, ELIKERT, P1..P10, A1, A6, A7, A8, A9, A10, A11, A12) or 'all'")
 		quick   = flag.Bool("quick", false, "use small problem sizes")
 		seed    = flag.Uint64("seed", 751, "workload seed")
 		workers = flag.Int("workers", 4, "worker threads for real parallel execution")

@@ -8,6 +8,10 @@ package parc751
 
 import (
 	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -276,6 +280,87 @@ func TestAndroidThumbnailApp(t *testing.T) {
 	android.NewHandler(main).PostAndWait(func() {})
 	if progress.Load() != int32(len(imgs)) {
 		t.Fatalf("progress updates = %d", progress.Load())
+	}
+}
+
+// TestParctraceCLIRoundTrip exercises the schedule-replay debugger the
+// way a user does — through the real binary: build cmd/parctrace, record
+// a seeded chaos run to a trace file, inspect it with dump, render the
+// HTML viewer, and replay it expecting a bit-identical verdict.
+func TestParctraceCLIRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs a real binary")
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "parctrace")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/parctrace")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building parctrace: %v\n%s", err, out)
+	}
+	run := func(args ...string) string {
+		t.Helper()
+		cmd := exec.Command(bin, args...)
+		out, err := cmd.CombinedOutput()
+		if err != nil {
+			t.Fatalf("parctrace %s: %v\n%s", strings.Join(args, " "), err, out)
+		}
+		return string(out)
+	}
+
+	trace := filepath.Join(dir, "trace.json")
+	recOut := run("record", "-workload", "thumbs", "-n", "10", "-seed", "424", "-chaos", "-o", trace)
+	if !strings.Contains(recOut, "recorded") {
+		t.Fatalf("record output: %s", recOut)
+	}
+	if st, err := os.Stat(trace); err != nil || st.Size() == 0 {
+		t.Fatalf("trace file not written: %v", err)
+	}
+
+	dumpOut := run("dump", trace)
+	for _, want := range []string{"schema parc751/trace/v1", "workload thumbs", "faults", "#"} {
+		if !strings.Contains(dumpOut, want) {
+			t.Fatalf("dump output missing %q:\n%s", want, dumpOut)
+		}
+	}
+
+	html := filepath.Join(dir, "trace.html")
+	run("render", trace, "-o", html)
+	page, err := os.ReadFile(html)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"<!doctype html>", "<svg", "trace-data", "</html>"} {
+		if !strings.Contains(string(page), want) {
+			t.Fatalf("rendered page missing %q", want)
+		}
+	}
+
+	replayOut := run("-replay", trace)
+	if !strings.Contains(replayOut, "reproduced the recorded schedule") {
+		t.Fatalf("replay output: %s", replayOut)
+	}
+
+	// A divergence must be detected: corrupt a deterministic count and
+	// expect replay to fail with a canonical diff.
+	raw, err := os.ReadFile(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := strings.Replace(string(raw), `"complete": 10`, `"complete": 11`, 1)
+	if bad == string(raw) {
+		t.Fatal("corruption target not found in trace (complete count moved?)")
+	}
+	badFile := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(badFile, []byte(bad), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(bin, "-replay", badFile)
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("corrupted trace replayed cleanly:\n%s", out)
+	}
+	if !strings.Contains(string(out), "canonical traces differ") {
+		t.Fatalf("divergence not diagnosed:\n%s", out)
 	}
 }
 

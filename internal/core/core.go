@@ -18,6 +18,7 @@ import (
 
 	"parc751/internal/faultinject"
 	"parc751/internal/metrics"
+	"parc751/internal/parctrace"
 	"parc751/internal/sched"
 )
 
@@ -96,6 +97,10 @@ type task struct {
 	fn func()
 	r  Runnable
 	t0 time.Time
+	// tid is the parctrace task id, set only while a recorder is
+	// attached (0 otherwise — envelopes are always recycled with it
+	// cleared, so a stale id can never leak across recordings).
+	tid uint64
 }
 
 // taskPool recycles task envelopes across all pools. An envelope is
@@ -281,16 +286,39 @@ func (p *Pool) submit(fn func(), r Runnable) {
 	t := taskPool.Get().(*task)
 	t.fn = fn
 	t.r = r
+	w := p.reg.current()
+	if rec := parctrace.Active(); rec != nil {
+		// Reuse a pre-assigned id (ptask tags its handles) so the submit
+		// edge and the task layer's dependence edges name the same node.
+		var tid uint64
+		if tagged, ok := r.(parctrace.Tagged); ok {
+			tid = tagged.TraceTaskID()
+		}
+		if tid == 0 {
+			tid = rec.NewTaskID()
+		}
+		t.tid = tid
+		rec.Record(parctrace.KSubmit, workerID(w), tid, 0)
+	}
 	if p.latN.Add(1)&latencySampleMask == 0 {
 		t.t0 = time.Now()
 	}
-	if w := p.reg.current(); w != nil {
+	if w != nil {
 		w.deque.PushBottom(t)
 	} else {
 		p.globalSubmits.Add(1)
 		p.global.Push(t)
 	}
 	p.wakeOne()
+}
+
+// workerID is w's trace identity: its pool index, or -1 for an external
+// goroutine.
+func workerID(w *worker) int {
+	if w == nil {
+		return -1
+	}
+	return w.id
 }
 
 // OnWorker reports whether the calling goroutine is one of the pool's
@@ -322,6 +350,11 @@ func (p *Pool) wakeOne() {
 		if s.state.CompareAndSwap(slotParked, slotClaimed) {
 			if s.w != nil {
 				s.w.wakes.Add(1)
+				// Recorded by the waker, only after the claim CAS won —
+				// mirroring the steal rule: no wake edge for a lost race.
+				if rec := parctrace.Active(); rec != nil {
+					rec.Record(parctrace.KWake, s.w.id, 0, 0)
+				}
 			}
 			// Never blocks: ch is empty whenever the slot is claimable
 			// (see the parkSlot invariant), and this cycle's claim CAS
@@ -397,6 +430,9 @@ func (p *Pool) park(w *worker) (exit bool) {
 		return false
 	}
 	w.parks.Add(1)
+	if rec := parctrace.Active(); rec != nil {
+		rec.Record(parctrace.KPark, w.id, 0, 0)
+	}
 	select {
 	case <-s.ch:
 		s.state.Store(slotFree)
@@ -478,6 +514,13 @@ func (p *Pool) steal(w *worker, victim *worker) (*task, bool) {
 	if in := p.fi.Load(); in != nil {
 		in.Point(faultinject.SiteSteal)
 	}
+	// The steal edge is recorded only here, after StealInto's CAS claim
+	// landed: a lost race returns above and must never log a steal that
+	// did not happen (TestStealTraceConservation pins logged == performed
+	// against the deque's own steal counters).
+	if rec := parctrace.Active(); rec != nil {
+		rec.Record(parctrace.KSteal, workerID(w), t.tid, uint64(victim.id))
+	}
 	// findWork only steals after w's own deque came up empty, so a
 	// non-empty deque here means StealInto moved a batch.
 	if w != nil && w.deque.Len() > 0 {
@@ -499,10 +542,18 @@ func (p *Pool) runTask(t *task) {
 	}
 	fn := t.fn
 	r := t.r
+	tid := t.tid
 	t.fn = nil
 	t.r = nil
 	t.t0 = time.Time{}
+	t.tid = 0
 	taskPool.Put(t)
+	rec := parctrace.Active()
+	var wid int
+	if rec != nil && tid != 0 {
+		wid = workerID(p.reg.current())
+		rec.Record(parctrace.KRun, wid, tid, 0)
+	}
 	// Panics are contained per-task; the task wrapper (e.g. a ptask
 	// future) is responsible for recording them. A bare Submit that
 	// panics must still not kill the worker.
@@ -510,6 +561,11 @@ func (p *Pool) runTask(t *task) {
 		_ = catchRunnable(r)
 	} else {
 		_ = Catch(fn)
+	}
+	if rec != nil && tid != 0 {
+		// Same recorder as the run edge: a recorder swapped mid-task must
+		// not produce a complete without its run.
+		rec.Record(parctrace.KComplete, wid, tid, 0)
 	}
 	p.executed.Add(1)
 	if p.inflight.Add(-1) == 0 && p.qwaiters.Load() > 0 {

@@ -1,0 +1,127 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"parc751/internal/parctrace"
+)
+
+// TestStealTraceConservation pins the steal-edge hook placement: the
+// recorder logs a steal only after StealInto's CAS claim landed, so the
+// number of steal events must equal the number of steals the deques
+// themselves performed — a hook placed before the claim would log
+// steals that lost the race and break this equality. Run under -race in
+// CI, this is the stress test the satellite audit asks for.
+func TestStealTraceConservation(t *testing.T) {
+	const workers = 4
+	rec := parctrace.NewRecorder(parctrace.Config{
+		// Tiny rings with sampling active: the equality below is on the
+		// exact per-kind counters, which shedding must never disturb.
+		Workers: workers, LaneCap: 64, SampleEvery: 4,
+	})
+	prev := parctrace.Set(rec)
+	defer parctrace.Set(prev)
+
+	p := NewPool(workers)
+	defer p.Shutdown()
+
+	// Tasks submitted from inside a worker land on that worker's own
+	// deque; wedging the spawner right after the burst forces siblings
+	// to steal them — reliable even on a single-CPU host, where a
+	// free-running spawner would drain its own deque first.
+	var wg sync.WaitGroup
+	leaf := func() { wg.Done() }
+	for round := 0; round < 8; round++ {
+		const children = 64
+		wg.Add(children + 1)
+		p.Submit(func() {
+			for i := 0; i < children; i++ {
+				p.Submit(leaf)
+			}
+			time.Sleep(10 * time.Millisecond)
+			wg.Done()
+		})
+		wg.Wait()
+	}
+	p.Quiesce()
+	parctrace.Set(prev)
+
+	logged := rec.Count(parctrace.KSteal)
+	// One KSteal event per successful StealInto operation. The deque's
+	// Steals counter tallies stolen *elements* — the task handed to the
+	// thief plus every batch-rebalanced sibling (BatchMoved) — so the
+	// operation count is their difference.
+	snap := p.Stats()
+	var batchMoved int64
+	for _, w := range snap.Workers {
+		batchMoved += w.BatchMoved
+	}
+	performed := snap.TotalSteals() - batchMoved
+	if int64(logged) != performed {
+		t.Fatalf("steal conservation broken: %d steal events logged, %d steal operations performed", logged, performed)
+	}
+	if performed == 0 {
+		t.Fatalf("no steals happened — the stress load is not exercising the hook")
+	}
+	// The run/complete pairing must also be conserved: every envelope
+	// the scheduler ran while recording completed exactly once.
+	if runs, completes := rec.Count(parctrace.KRun), rec.Count(parctrace.KComplete); runs != completes {
+		t.Fatalf("run/complete not conserved: %d runs, %d completes", runs, completes)
+	}
+	if submits := rec.Count(parctrace.KSubmit); submits != rec.Count(parctrace.KRun) {
+		t.Fatalf("submit/run not conserved on a drained pool: %d submits, %d runs",
+			submits, rec.Count(parctrace.KRun))
+	}
+}
+
+// TestDisabledRecorderOverheadGuard is the no-overhead proof for the
+// trace hooks, the twin of TestDisabledHookOverheadGuard: detached, every
+// instrumentation site costs one atomic pointer load and a branch. The
+// guard pins an absolute per-submit ceiling and that the detached path
+// is no slower than the attached path, which does strictly more work
+// (timestamp, counter, ring write) per event.
+func TestDisabledRecorderOverheadGuard(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing guard")
+	}
+	const tasks = 20000
+	measure := func(rec *parctrace.Recorder) time.Duration {
+		prev := parctrace.Set(rec)
+		defer parctrace.Set(prev)
+		p := NewPool(2)
+		defer p.Shutdown()
+		var sink atomic.Int64
+		start := time.Now()
+		for i := 0; i < tasks; i++ {
+			p.Submit(func() { sink.Add(1) })
+		}
+		p.Quiesce()
+		return time.Since(start)
+	}
+	attached := func() *parctrace.Recorder {
+		return parctrace.NewRecorder(parctrace.Config{Workers: 2, LaneCap: 1024})
+	}
+	disabled, enabled := time.Hour, time.Hour
+	// Best of several trials: minima are robust against scheduler noise
+	// on shared CI hardware.
+	for trial := 0; trial < 5; trial++ {
+		if d := measure(nil); d < disabled {
+			disabled = d
+		}
+		if d := measure(attached()); d < enabled {
+			enabled = d
+		}
+	}
+	perSubmit := disabled / tasks
+	if perSubmit > 5*time.Microsecond {
+		t.Errorf("disabled-recorder submit path costs %v/op, want <= 5µs (trace overhead crept in)", perSubmit)
+	}
+	if disabled > enabled*2 {
+		t.Errorf("disabled recorder (%v) slower than attached recorder (%v): nil fast path broken",
+			disabled, enabled)
+	}
+	t.Logf("submit+run cost: disabled=%v attached=%v for %d tasks", disabled, enabled, tasks)
+}

@@ -1,0 +1,94 @@
+package metrics
+
+import (
+	"testing"
+	"time"
+)
+
+// TestBucketsEmpty: an untouched histogram exports no buckets (the /statz
+// compact form must be empty, not a 32-wide zero array).
+func TestBucketsEmpty(t *testing.T) {
+	var h LatencyHistogram
+	if bs := h.Snapshot().Buckets(); len(bs) != 0 {
+		t.Fatalf("empty histogram exports %d buckets: %v", len(bs), bs)
+	}
+}
+
+// TestBucketsSingle: one observation exports exactly one bucket whose
+// bound brackets the observed duration.
+func TestBucketsSingle(t *testing.T) {
+	var h LatencyHistogram
+	const d = 700 * time.Nanosecond // bucket [512ns, 1024ns)
+	h.Observe(d)
+	bs := h.Snapshot().Buckets()
+	if len(bs) != 1 {
+		t.Fatalf("single observation exports %d buckets: %v", len(bs), bs)
+	}
+	if bs[0].Count != 1 {
+		t.Fatalf("count = %d, want 1", bs[0].Count)
+	}
+	if bs[0].Hi < d || bs[0].Hi > 2*d {
+		t.Fatalf("bucket bound %v does not bracket observation %v", bs[0].Hi, d)
+	}
+}
+
+// TestBucketsZeroAndNegative: zero and negative (clamped) durations land
+// in the lowest bucket, whose bound is the smallest representable.
+func TestBucketsZeroAndNegative(t *testing.T) {
+	var h LatencyHistogram
+	h.Observe(0)
+	h.Observe(-time.Second)
+	bs := h.Snapshot().Buckets()
+	if len(bs) != 1 || bs[0].Count != 2 {
+		t.Fatalf("clamped observations: %v", bs)
+	}
+	if bs[0].Hi != 1 {
+		t.Fatalf("lowest bucket bound = %v, want 1ns", bs[0].Hi)
+	}
+}
+
+// TestBucketsOverflow: durations beyond the highest tracked bound all
+// fold into the final bucket, and its exported bound stays a sane
+// duration (not an overflowed negative).
+func TestBucketsOverflow(t *testing.T) {
+	var h LatencyHistogram
+	h.Observe(time.Hour)
+	h.Observe(24 * 365 * time.Hour)
+	bs := h.Snapshot().Buckets()
+	if len(bs) != 1 {
+		t.Fatalf("overflow observations spread across %d buckets: %v", len(bs), bs)
+	}
+	if bs[0].Count != 2 {
+		t.Fatalf("overflow bucket count = %d, want 2", bs[0].Count)
+	}
+	if bs[0].Hi <= 0 {
+		t.Fatalf("overflow bucket bound %v is not positive", bs[0].Hi)
+	}
+	if bs[0].Hi != bucketHi(latencyBuckets-1) {
+		t.Fatalf("overflow bound = %v, want top bucket's %v", bs[0].Hi, bucketHi(latencyBuckets-1))
+	}
+}
+
+// TestBucketsAscendingAndConserving: bounds strictly ascend and the
+// exported counts sum to the snapshot total — the export drops empty
+// buckets, never observations.
+func TestBucketsAscendingAndConserving(t *testing.T) {
+	var h LatencyHistogram
+	durations := []time.Duration{0, 1, 300, 300, 70000, time.Millisecond, time.Second, time.Hour}
+	for _, d := range durations {
+		h.Observe(d)
+	}
+	s := h.Snapshot()
+	bs := s.Buckets()
+	var sum int64
+	for i, b := range bs {
+		sum += b.Count
+		if i > 0 && bs[i-1].Hi >= b.Hi {
+			t.Fatalf("bounds not ascending: %v then %v", bs[i-1].Hi, b.Hi)
+		}
+	}
+	if sum != s.Total || sum != int64(len(durations)) {
+		t.Fatalf("bucket counts sum to %d, snapshot total %d, observed %d",
+			sum, s.Total, len(durations))
+	}
+}

@@ -36,6 +36,7 @@ import (
 	"time"
 
 	"parc751/internal/metrics"
+	"parc751/internal/parctrace"
 	"parc751/internal/ptask"
 	"parc751/internal/pyjama"
 	"parc751/internal/webfetch"
@@ -194,6 +195,9 @@ type Server struct {
 
 	regionMu   sync.Mutex
 	lastRegion *pyjama.RegionStats
+
+	// trace is the /tracez recorder state (tracez.go).
+	trace tracezState
 }
 
 // NewServer starts the runtime and wires the HTTP surface.
@@ -218,6 +222,10 @@ func NewServer(cfg Config) *Server {
 	s.mux.HandleFunc("GET /statz", s.handleStatz)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
+	s.mux.HandleFunc("GET /tracez", s.handleTracez)
+	s.mux.HandleFunc("GET /tracez/trace.json", s.handleTracezJSON)
+	s.mux.HandleFunc("POST /tracez/start", s.handleTracezStart)
+	s.mux.HandleFunc("POST /tracez/stop", s.handleTracezStop)
 	return s
 }
 
@@ -512,6 +520,15 @@ func (s *Server) Drain(d time.Duration) error {
 	s.drainMu.Lock()
 	s.draining.Store(true)
 	s.drainMu.Unlock()
+	// A recording left running must not outlive the server that attached
+	// it: detach and keep the dump, as /tracez/stop would.
+	s.trace.mu.Lock()
+	if s.trace.rec != nil {
+		parctrace.Set(nil)
+		s.trace.last = s.trace.rec.Snapshot(parctrace.Meta{Name: "parcserve-" + s.cfg.NodeID})
+		s.trace.rec = nil
+	}
+	s.trace.mu.Unlock()
 	// Order matters: the batcher settles every accepted small job before
 	// jobs.Wait (their handlers are waiting on those futures), and the
 	// pool stops only after no handler can submit another task.

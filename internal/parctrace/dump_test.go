@@ -1,0 +1,261 @@
+package parctrace
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"parc751/internal/faultinject"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// goldenDump is a fully-populated fixed dump: every schema field is
+// exercised so a rename or retag of any of them moves the golden bytes.
+func goldenDump() *Dump {
+	return &Dump{
+		Schema:  SchemaV1,
+		Name:    "golden",
+		Seed:    751,
+		Workers: 2,
+		Workload: &WorkloadSpec{
+			Kind: "quicksort", Seed: 751, N: 64, Workers: 2, Chaos: true,
+		},
+		Plan: &PlanSpec{
+			Name: "golden-plan", Seed: 751,
+			Rules: []RuleSpec{
+				{Site: "submit", Kind: "delay", Nth: 3, Count: 1, DurNs: 200000},
+				{Site: "taskbody", Kind: "panic", Every: 7},
+			},
+		},
+		Counts: map[string]uint64{
+			"submit": 5, "steal": 1, "run": 5, "complete": 5,
+			"depend": 2, "park": 1, "wake": 1,
+			"region_start": 1, "region_end": 1,
+		},
+		Recorded:   6,
+		Lost:       1,
+		SampledOut: 15,
+		Faults:     []string{"submit@3:delay", "taskbody@7:panic"},
+		Events: []DumpEvent{
+			{TNs: 100, Kind: "region_start", Worker: -1, Task: 1, Aux: 2},
+			{TNs: 220, Kind: "submit", Worker: -1, Task: 2},
+			{TNs: 300, Kind: "steal", Worker: 1, Task: 2},
+			{TNs: 410, Kind: "run", Worker: 1, Task: 2},
+			{TNs: 900, Kind: "complete", Worker: 1, Task: 2},
+			{TNs: 1000, Kind: "region_end", Worker: -1, Task: 1, Aux: 2},
+		},
+	}
+}
+
+// TestTraceSchemaStability byte-compares the serialized golden dump with
+// the committed file: any change to field names, tags, ordering, or the
+// indentation format is a schema break and must bump SchemaV1 instead of
+// silently rewriting v1. Regenerate deliberately with -update.
+func TestTraceSchemaStability(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteDump(&buf, goldenDump()); err != nil {
+		t.Fatalf("WriteDump: %v", err)
+	}
+	path := filepath.Join("testdata", "golden_trace_v1.json")
+	if *updateGolden {
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatalf("writing golden: %v", err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("dump format drifted from committed golden %s.\nIf the change is deliberate it is a schema bump: revise SchemaV1 and regenerate with -update.\ngot:\n%s\nwant:\n%s",
+			path, buf.Bytes(), want)
+	}
+}
+
+// TestTraceSchemaKeys pins the exact JSON key sets of every object in
+// the v1 schema, table-driven over the golden file, so an added field is
+// caught as loudly as a renamed one.
+func TestTraceSchemaKeys(t *testing.T) {
+	raw, err := os.ReadFile(filepath.Join("testdata", "golden_trace_v1.json"))
+	if err != nil {
+		t.Fatalf("reading golden: %v", err)
+	}
+	var top map[string]json.RawMessage
+	if err := json.Unmarshal(raw, &top); err != nil {
+		t.Fatalf("golden is not a JSON object: %v", err)
+	}
+	keysOf := func(t *testing.T, raw json.RawMessage) []string {
+		t.Helper()
+		var m map[string]json.RawMessage
+		if err := json.Unmarshal(raw, &m); err != nil {
+			t.Fatalf("not an object: %v", err)
+		}
+		ks := make([]string, 0, len(m))
+		for k := range m {
+			ks = append(ks, k)
+		}
+		sort.Strings(ks)
+		return ks
+	}
+	firstElem := func(t *testing.T, raw json.RawMessage) json.RawMessage {
+		t.Helper()
+		var arr []json.RawMessage
+		if err := json.Unmarshal(raw, &arr); err != nil || len(arr) == 0 {
+			t.Fatalf("not a non-empty array: %v", err)
+		}
+		return arr[0]
+	}
+	cases := []struct {
+		name string
+		raw  func(t *testing.T) json.RawMessage
+		want []string
+	}{
+		{"top-level", func(t *testing.T) json.RawMessage { return raw },
+			[]string{"counts", "events", "faults", "lost", "name", "plan", "recorded",
+				"sampled_out", "schema", "seed", "workers", "workload"}},
+		{"event", func(t *testing.T) json.RawMessage { return firstElem(t, top["events"]) },
+			[]string{"aux", "kind", "t_ns", "task", "w"}},
+		{"workload", func(t *testing.T) json.RawMessage { return top["workload"] },
+			[]string{"chaos", "kind", "n", "seed", "workers"}},
+		{"plan", func(t *testing.T) json.RawMessage { return top["plan"] },
+			[]string{"name", "rules", "seed"}},
+		{"rule", func(t *testing.T) json.RawMessage { return firstElem(t, top["plan"]) },
+			nil}, // filled below: rules is nested inside plan
+	}
+	// The rule object lives at plan.rules[0].
+	cases[4].raw = func(t *testing.T) json.RawMessage {
+		var plan map[string]json.RawMessage
+		if err := json.Unmarshal(top["plan"], &plan); err != nil {
+			t.Fatalf("plan: %v", err)
+		}
+		return firstElem(t, plan["rules"])
+	}
+	cases[4].want = []string{"count", "dur_ns", "kind", "nth", "site"}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := keysOf(t, tc.raw(t)); !reflect.DeepEqual(got, tc.want) {
+				t.Fatalf("key set drifted:\n got %v\nwant %v", got, tc.want)
+			}
+		})
+	}
+}
+
+// TestDumpRoundTrip: Write→Read is lossless and the canonical projection
+// survives the trip byte-for-byte.
+func TestDumpRoundTrip(t *testing.T) {
+	d := goldenDump()
+	var buf bytes.Buffer
+	if err := WriteDump(&buf, d); err != nil {
+		t.Fatalf("WriteDump: %v", err)
+	}
+	back, err := ReadDump(buf.Bytes())
+	if err != nil {
+		t.Fatalf("ReadDump: %v", err)
+	}
+	if !reflect.DeepEqual(d, back) {
+		t.Fatalf("round trip lost data:\n got %+v\nwant %+v", back, d)
+	}
+	if a, b := d.Canonical(), back.Canonical(); !bytes.Equal(a, b) {
+		t.Fatalf("canonical projection changed across the trip:\n %s\n %s", a, b)
+	}
+}
+
+func TestReadDumpErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		data string
+		want string
+	}{
+		{"garbage", "{not json", "parsing dump"},
+		{"wrong schema", `{"schema":"parc751/trace/v0"}`, "unsupported schema"},
+		{"unknown kind", `{"schema":"parc751/trace/v1","events":[{"t_ns":1,"kind":"teleport","w":0}]}`, "unknown kind"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ReadDump([]byte(tc.data))
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("err = %v, want substring %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestPlanSpecRoundTrip: every site and fault-kind name survives
+// Plan→Spec→Plan, so a replayed schedule is built from the same rules.
+func TestPlanSpecRoundTrip(t *testing.T) {
+	p := faultinject.Plan{
+		Name: "all-sites", Seed: 9,
+		Rules: []faultinject.Rule{
+			{Site: faultinject.SiteSubmit, Kind: faultinject.Delay, Nth: 1, Dur: time.Millisecond},
+			{Site: faultinject.SiteSteal, Kind: faultinject.Stall, Every: 2, Dur: time.Microsecond},
+			{Site: faultinject.SiteRun, Kind: faultinject.Panic, Count: 3},
+			{Site: faultinject.SiteBarrierArrive, Kind: faultinject.Error, Nth: 4},
+			{Site: faultinject.SiteDispatch, Kind: faultinject.Hang, Count: 1},
+			{Site: faultinject.SiteTaskBody, Kind: faultinject.Panic, Every: 5},
+			{Site: faultinject.SiteTransport, Kind: faultinject.Error, Every: 1},
+		},
+	}
+	back, err := PlanFromSpec(SpecFromPlan(p))
+	if err != nil {
+		t.Fatalf("PlanFromSpec: %v", err)
+	}
+	if !reflect.DeepEqual(p, back) {
+		t.Fatalf("plan round trip lost rules:\n got %+v\nwant %+v", back, p)
+	}
+}
+
+func TestPlanFromSpecRejectsUnknownNames(t *testing.T) {
+	if _, err := PlanFromSpec(&PlanSpec{Rules: []RuleSpec{{Site: "warp", Kind: "delay"}}}); err == nil {
+		t.Fatal("unknown site accepted")
+	}
+	if _, err := PlanFromSpec(&PlanSpec{Rules: []RuleSpec{{Site: "submit", Kind: "glitter"}}}); err == nil {
+		t.Fatal("unknown fault kind accepted")
+	}
+}
+
+// TestCanonicalExcludesAccidents: two dumps that differ only in
+// scheduling accidents — steal/park/wake counts, timestamps, worker
+// assignments, shedding accounting — have identical canonical bytes,
+// while a drift in a deterministic count changes them.
+func TestCanonicalExcludesAccidents(t *testing.T) {
+	a, b := goldenDump(), goldenDump()
+	b.Counts["steal"] = 42
+	b.Counts["park"] = 9
+	b.Counts["wake"] = 9
+	b.Recorded, b.Lost, b.SampledOut = 999, 7, 3
+	for i := range b.Events {
+		b.Events[i].TNs += 12345
+		b.Events[i].Worker = 0
+	}
+	if !bytes.Equal(a.Canonical(), b.Canonical()) {
+		t.Fatalf("canonical projection leaked a nondeterministic field:\n %s\n %s",
+			a.Canonical(), b.Canonical())
+	}
+	b.Counts["complete"]++
+	if bytes.Equal(a.Canonical(), b.Canonical()) {
+		t.Fatal("canonical projection ignored a deterministic count drift")
+	}
+}
+
+func TestKindStringRoundTrip(t *testing.T) {
+	for k := Kind(0); k < numKinds; k++ {
+		got, ok := KindFromString(k.String())
+		if !ok || got != k {
+			t.Fatalf("kind %d (%q) does not round trip: got %d ok=%v", k, k.String(), got, ok)
+		}
+	}
+	if _, ok := KindFromString("unknown"); ok {
+		t.Fatal("KindFromString accepted the out-of-range placeholder name")
+	}
+	if Kind(200).String() != "unknown" {
+		t.Fatal("out-of-range kind must stringify as unknown")
+	}
+}

@@ -1,0 +1,210 @@
+// Package parctrace is the runtime's deterministic task-DAG recorder:
+// a low-overhead event tap that captures submit/steal/run/complete/
+// depend/park/wake edges from the scheduler (internal/core), the task
+// layer (internal/ptask), and Pyjama regions (internal/pyjama) into
+// fixed-size per-worker ring buffers, dumps them as versioned JSON
+// (schema parc751/trace/v1, dump.go), and renders them as a
+// self-contained HTML/SVG viewer (render.go) — the TEMANEJO-style
+// "make the schedule visible" debugger of DESIGN.md §15.
+//
+// The recorder is globally attached (Set/Active) the same way the chaos
+// injector is: detached, every instrumentation hook costs one atomic
+// pointer load and a predictable branch, which the disabled-overhead
+// guard in internal/core pins. Attached, writes are lock-free (one
+// fetch-add claim plus atomic stores into a preallocated slot) and
+// allocation-free, and once a lane wraps the recorder samples — exact
+// per-kind counters are always maintained, so accounting is conserved
+// even when events are shed.
+//
+// Replay lives in internal/parctrace/replay: a dump carries the workload
+// spec and the faultinject plan that produced it, which together are a
+// complete schedule coordinate — re-executing them pins the fault
+// schedule to the same per-site ordinals and the task DAG to the same
+// shape, and Verify asserts the canonical projections are bit-identical.
+package parctrace
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Kind classifies a recorded scheduler event.
+type Kind uint8
+
+const (
+	// KSubmit: a task entered the pool (Task = trace id; Worker = the
+	// submitting worker, -1 for an external goroutine).
+	KSubmit Kind = iota
+	// KSteal: a task moved between workers (Worker = thief, Aux = victim
+	// worker id). Recorded only after the steal's CAS claim landed.
+	KSteal
+	// KRun: a worker began executing a task.
+	KRun
+	// KComplete: the task's execution finished (panics included — the
+	// envelope completed either way).
+	KComplete
+	// KDepend: a dependence edge — Task waits on Aux (both trace ids).
+	KDepend
+	// KPark: a worker went idle (parked on its wake slot).
+	KPark
+	// KWake: a worker was woken by a submitter (recorded by the waker).
+	KWake
+	// KRegionStart: a Pyjama parallel region began (Task = region id,
+	// Aux = team size).
+	KRegionStart
+	// KRegionEnd: the region joined (panic paths included).
+	KRegionEnd
+	numKinds
+)
+
+var kindNames = [numKinds]string{
+	"submit", "steal", "run", "complete", "depend", "park", "wake",
+	"region_start", "region_end",
+}
+
+// String returns the kind's dump-format name.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return "unknown"
+}
+
+// KindFromString is the inverse of Kind.String; ok is false for names
+// outside the schema.
+func KindFromString(s string) (Kind, bool) {
+	for i, n := range kindNames {
+		if n == s {
+			return Kind(i), true
+		}
+	}
+	return 0, false
+}
+
+// Event is one recorded edge. TNs is nanoseconds since the recorder
+// started; Worker is -1 for events from goroutines outside the pool.
+type Event struct {
+	TNs    int64
+	Kind   Kind
+	Worker int32
+	Task   uint64
+	Aux    uint64
+}
+
+// Tagged is implemented by Runnables that pre-assigned their own trace
+// task id (ptask.Task, ptask.MultiTask). The scheduler reuses it so
+// submit/run/complete and the dependence edges recorded by the task
+// layer all name the same DAG node.
+type Tagged interface{ TraceTaskID() uint64 }
+
+// Config sizes a Recorder. Zero values take the documented defaults.
+type Config struct {
+	// Workers is the pool size; the recorder keeps Workers+1 lanes
+	// (lane 0 collects events from external goroutines).
+	Workers int
+	// LaneCap is the per-lane ring capacity, rounded up to a power of
+	// two (default 4096).
+	LaneCap int
+	// SampleEvery thins recording once a lane has wrapped: only every
+	// SampleEvery'th event of a kind is written (default 8; 1 disables
+	// sampling). Counters stay exact regardless.
+	SampleEvery int
+}
+
+// Recorder captures scheduler events into per-worker rings. All methods
+// are safe for concurrent use; Record never allocates and never blocks.
+type Recorder struct {
+	base        time.Time
+	lanes       []*ring
+	sampleEvery uint64
+	nextID      atomic.Uint64
+	counts      [numKinds]atomic.Uint64
+	sampled     atomic.Uint64 // events shed by load sampling
+	dropped     atomic.Uint64 // ring writes lost to a lap race
+}
+
+// NewRecorder builds a detached recorder; attach it with Set.
+func NewRecorder(cfg Config) *Recorder {
+	if cfg.Workers < 1 {
+		cfg.Workers = 1
+	}
+	if cfg.LaneCap <= 0 {
+		cfg.LaneCap = 4096
+	}
+	if cfg.SampleEvery <= 0 {
+		cfg.SampleEvery = 8
+	}
+	r := &Recorder{
+		base:        time.Now(),
+		lanes:       make([]*ring, cfg.Workers+1),
+		sampleEvery: uint64(cfg.SampleEvery),
+	}
+	for i := range r.lanes {
+		r.lanes[i] = newRing(cfg.LaneCap)
+	}
+	return r
+}
+
+// active is the globally attached recorder, nil when tracing is off —
+// the same one-pointer-load discipline as the chaos injector hooks.
+var active atomic.Pointer[Recorder]
+
+// Active returns the attached recorder, or nil. Instrumentation sites
+// call this on every event; keep it trivially inlinable.
+func Active() *Recorder { return active.Load() }
+
+// Set attaches r (or detaches with nil) and returns the previous
+// recorder, so scoped recording can restore what it displaced.
+func Set(r *Recorder) *Recorder { return active.Swap(r) }
+
+// NewTaskID allocates a fresh trace task id (ids start at 1; 0 means
+// "not tracked").
+func (r *Recorder) NewTaskID() uint64 { return r.nextID.Add(1) }
+
+// laneIdx maps a worker id to its lane; out-of-range ids (and -1,
+// external goroutines) share lane 0.
+func (r *Recorder) laneIdx(worker int) int {
+	if worker >= 0 && worker < len(r.lanes)-1 {
+		return worker + 1
+	}
+	return 0
+}
+
+// Record captures one event. The per-kind counter is exact and always
+// incremented; the ring write is sampled once the target lane has
+// wrapped, and a write that loses a lap race is counted as dropped.
+// Conservation: for every kind,
+//
+//	count == recorded + lost + sampled-out
+//
+// which Snapshot's accounting fields expose and the property tests pin.
+func (r *Recorder) Record(k Kind, worker int, task, aux uint64) {
+	n := r.counts[k].Add(1)
+	lane := r.lanes[r.laneIdx(worker)]
+	if r.sampleEvery > 1 && lane.wrapped() && n%r.sampleEvery != 0 {
+		r.sampled.Add(1)
+		return
+	}
+	if !lane.write(Event{
+		TNs:    int64(time.Since(r.base)),
+		Kind:   k,
+		Worker: int32(worker),
+		Task:   task,
+		Aux:    aux,
+	}) {
+		r.dropped.Add(1)
+	}
+}
+
+// Count returns the exact number of k events observed (recorded or shed).
+func (r *Recorder) Count(k Kind) uint64 { return r.counts[k].Load() }
+
+// SampledOut returns how many events were shed by load sampling.
+func (r *Recorder) SampledOut() uint64 { return r.sampled.Load() }
+
+// Dropped returns how many ring writes were lost to lap races.
+func (r *Recorder) Dropped() uint64 { return r.dropped.Load() }
+
+// Workers returns the number of worker lanes (excluding the external
+// lane 0).
+func (r *Recorder) Workers() int { return len(r.lanes) - 1 }

@@ -1,0 +1,106 @@
+package replay
+
+import (
+	"strings"
+	"testing"
+
+	"parc751/internal/parctrace"
+)
+
+// TestReplayDeterminism is the package contract end to end: for every
+// workload kind and several seeds, record a seeded chaos run, replay its
+// dump's coordinate, and require the canonical projections to be
+// bit-identical with the same fault ordinals. This is the in-process
+// half of experiment A12 (the registered ablation runs the same matrix).
+func TestReplayDeterminism(t *testing.T) {
+	seeds := []uint64{751, 852, 953}
+	sizes := map[string]int{KindQuicksort: 1500, KindThumbs: 10, KindWebfetch: 6}
+	for _, kind := range Kinds() {
+		for _, seed := range seeds {
+			t.Run(kind+"/"+itoa(seed), func(t *testing.T) {
+				spec := parctrace.WorkloadSpec{
+					Kind: kind, Seed: seed, N: sizes[kind], Workers: 2, Chaos: true,
+				}
+				rec, err := Record(spec, 512)
+				if err != nil {
+					t.Fatalf("Record: %v", err)
+				}
+				if len(rec.Faults) == 0 {
+					t.Fatalf("chaos run surfaced no fault ordinals: plan %+v", rec.Plan)
+				}
+				if rec.Counts["submit"] == 0 && rec.Counts["region_start"] == 0 {
+					t.Fatal("recording captured no work")
+				}
+				rep, err := Replay(rec, 512)
+				if err != nil {
+					t.Fatalf("Replay: %v", err)
+				}
+				if err := Verify(rec, rep); err != nil {
+					t.Fatalf("replay diverged: %v", err)
+				}
+			})
+		}
+	}
+}
+
+// TestReplayRequiresCoordinate: a dump without a workload spec cannot be
+// replayed and says so.
+func TestReplayRequiresCoordinate(t *testing.T) {
+	if _, err := Replay(&parctrace.Dump{Schema: parctrace.SchemaV1, Name: "bare"}, 0); err == nil {
+		t.Fatal("coordinate-free dump replayed")
+	}
+}
+
+// TestNormalize pins the defaulting rules Record and Replay both rely
+// on: the same input spec must normalize identically on both sides.
+func TestNormalize(t *testing.T) {
+	spec, err := Normalize(parctrace.WorkloadSpec{Kind: KindQuicksort})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.N == 0 || spec.Seed == 0 || spec.Workers < 2 {
+		t.Fatalf("defaults not filled: %+v", spec)
+	}
+	if _, err := Normalize(parctrace.WorkloadSpec{Kind: "tetris"}); err == nil ||
+		!strings.Contains(err.Error(), "unknown workload kind") {
+		t.Fatalf("unknown kind accepted: %v", err)
+	}
+}
+
+// TestVerifyRejectsDivergence: Verify must fail loudly when the replay
+// produced a different deterministic count or fault set.
+func TestVerifyRejectsDivergence(t *testing.T) {
+	spec := parctrace.WorkloadSpec{Kind: KindThumbs, Seed: 7, N: 8, Workers: 2, Chaos: true}
+	a, err := Record(spec, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Replay(a, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Counts["complete"]++
+	if err := Verify(a, b); err == nil {
+		t.Fatal("count divergence not detected")
+	}
+	b.Counts["complete"]--
+	b.Faults = append([]string{}, b.Faults...)
+	b.Faults[0] = "submit@999999:delay"
+	if err := Verify(a, b); err == nil {
+		t.Fatal("fault divergence not detected")
+	}
+}
+
+func itoa(v uint64) string {
+	if v == 0 {
+		return "0"
+	}
+	var b [20]byte
+	i := len(b)
+	for v > 0 {
+		i--
+		b[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(b[i:])
+}

@@ -28,6 +28,7 @@ import (
 	"parc751/internal/core"
 	"parc751/internal/eventloop"
 	"parc751/internal/faultinject"
+	"parc751/internal/parctrace"
 	"parc751/internal/sched"
 )
 
@@ -133,6 +134,12 @@ type Task[T any] struct {
 	gen      uint64
 	released atomic.Bool
 
+	// tid is the parctrace task id, assigned at construction while a
+	// recorder is attached (0 otherwise). The scheduler reuses it for
+	// the submit/run/complete edges via TraceTaskID, so dependence edges
+	// recorded here and scheduler edges name the same DAG node.
+	tid uint64
+
 	mu        sync.Mutex
 	callbacks []func()
 	waitDeps  int
@@ -167,6 +174,19 @@ func RunAfter[T any](rt *Runtime, deps []Dep, fn func() (T, error)) *Task[T] {
 // there are none). Shared by the legacy and failure-semantics
 // constructors.
 func (t *Task[T]) wireDeps(deps []Dep) {
+	if rec := parctrace.Active(); rec != nil {
+		t.tid = rec.NewTaskID()
+		// Dependence edges are recorded at wiring time — before the task
+		// can possibly be enqueued — so an edge always precedes its
+		// dependent's submit in the trace.
+		for _, d := range deps {
+			if tagged, ok := d.(parctrace.Tagged); ok {
+				if dep := tagged.TraceTaskID(); dep != 0 {
+					rec.Record(parctrace.KDepend, -1, t.tid, dep)
+				}
+			}
+		}
+	}
 	if len(deps) == 0 {
 		t.enqueue()
 		return
@@ -208,6 +228,11 @@ func (t *Task[T]) enqueue() {
 	// itself, which is deliberately not pooled — see futurepool.go).
 	t.rt.pool.SubmitRunnable(t)
 }
+
+// TraceTaskID implements parctrace.Tagged: it exposes the trace id this
+// task was assigned at construction (0 when no recorder was attached),
+// letting the scheduler stamp its submit/run/complete edges with it.
+func (t *Task[T]) TraceTaskID() uint64 { return t.tid }
 
 // RunTask implements core.Runnable: it is the scheduler's entry into the
 // task and must only be called by the pool. A stray external call is a
@@ -359,6 +384,11 @@ type MultiTask[T any] struct {
 	policy    MultiPolicy
 	failFirst sync.Once
 
+	// tid is the multi-task's own parctrace node id; the recorder links
+	// it to every sub-task with a depend edge so the fan-out is visible
+	// as one logical node in the DAG.
+	tid uint64
+
 	mu        sync.Mutex
 	callbacks []func()
 }
@@ -387,6 +417,14 @@ func RunMultiPolicy[T any](rt *Runtime, n int, policy MultiPolicy, fn func(i int
 	for i := 0; i < n; i++ {
 		i := i
 		m.tasks[i] = Run(rt, func() (T, error) { return fn(i) })
+	}
+	if rec := parctrace.Active(); rec != nil {
+		m.tid = rec.NewTaskID()
+		for _, tk := range m.tasks {
+			if tk.tid != 0 {
+				rec.Record(parctrace.KDepend, -1, m.tid, tk.tid)
+			}
+		}
 	}
 	// Wire completions only after every sub-task exists: a fail-fast
 	// trigger walks the whole slice to cancel siblings.
@@ -449,6 +487,9 @@ func (m *MultiTask[T]) subDone(tk *Task[T]) {
 		cb()
 	}
 }
+
+// TraceTaskID implements parctrace.Tagged (see Task.TraceTaskID).
+func (m *MultiTask[T]) TraceTaskID() uint64 { return m.tid }
 
 // depErr implements Dep.
 func (m *MultiTask[T]) depErr() error {

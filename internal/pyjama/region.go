@@ -27,6 +27,7 @@ import (
 	"sync/atomic"
 
 	"parc751/internal/core"
+	"parc751/internal/parctrace"
 )
 
 // TC is a thread context: the view one team member has of its parallel
@@ -121,6 +122,11 @@ func runRegion(nthreads int, body func(tc *TC)) *region {
 	if in := regionFI.Load(); in != nil {
 		reg.barrier.SetFaultInjector(in)
 	}
+	var regionID uint64
+	if rec := parctrace.Active(); rec != nil {
+		regionID = rec.NewTaskID()
+		rec.Record(parctrace.KRegionStart, -1, regionID, uint64(nthreads))
+	}
 	errs := make([]error, nthreads)
 	var wg sync.WaitGroup
 	wg.Add(nthreads)
@@ -138,6 +144,13 @@ func runRegion(nthreads int, body func(tc *TC)) *region {
 		}()
 	}
 	wg.Wait()
+	if regionID != 0 {
+		// Recorded before the panic scan so a faulted region still closes
+		// its node: region_start and region_end counts stay conserved.
+		if rec := parctrace.Active(); rec != nil {
+			rec.Record(parctrace.KRegionEnd, -1, regionID, uint64(nthreads))
+		}
+	}
 	// Re-raise the root cause, preferring a member's own panic over the
 	// ErrBarrierAborted cascade it triggered in its siblings.
 	var cascade error

@@ -1,0 +1,85 @@
+package report
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// failWriter fails after n successful writes — the disk-full / closed-pipe
+// shape the CLIs hit when their output is redirected.
+type failWriter struct {
+	n    int
+	seen int
+}
+
+var errSink = errors.New("sink failed")
+
+func (w *failWriter) Write(p []byte) (int, error) {
+	w.seen++
+	if w.seen > w.n {
+		return 0, errSink
+	}
+	return len(p), nil
+}
+
+func sampleFindings() []Finding {
+	return []Finding{
+		{Tool: "parcvet", Rule: "locks", Pos: "a.go:1:1", Severity: Error, Detail: "copied mutex"},
+		{Tool: "parcaudit", Rule: "readme", Pos: "README.md", Severity: Warning, Detail: "missing section"},
+	}
+}
+
+// TestRenderJSONWriteError: a failing writer must surface as Render's
+// error on the JSON path — a CLI that swallowed it would exit 0 with a
+// truncated report.
+func TestRenderJSONWriteError(t *testing.T) {
+	err := Render(&failWriter{n: 0}, sampleFindings(), true)
+	if !errors.Is(err, errSink) {
+		t.Fatalf("JSON render error = %v, want the writer's", err)
+	}
+	// The empty-slice normalization path writes too and must also fail.
+	if err := Render(&failWriter{n: 0}, nil, true); !errors.Is(err, errSink) {
+		t.Fatalf("empty JSON render error = %v, want the writer's", err)
+	}
+}
+
+// TestRenderTextWriteError covers both text-path writes: the per-finding
+// lines and the trailing summary line.
+func TestRenderTextWriteError(t *testing.T) {
+	if err := Render(&failWriter{n: 0}, sampleFindings(), false); !errors.Is(err, errSink) {
+		t.Fatalf("first finding line: error = %v, want the writer's", err)
+	}
+	// Allow the finding lines through, fail on the summary.
+	fs := sampleFindings()
+	if err := Render(&failWriter{n: len(fs)}, fs, false); !errors.Is(err, errSink) {
+		t.Fatalf("summary line: error = %v, want the writer's", err)
+	}
+}
+
+// TestRenderTextStopsAtFirstError: after a write fails, Render must not
+// keep hammering the broken writer with the remaining findings.
+func TestRenderTextStopsAtFirstError(t *testing.T) {
+	w := &failWriter{n: 1}
+	fs := sampleFindings()
+	if err := Render(w, fs, false); !errors.Is(err, errSink) {
+		t.Fatalf("error = %v", err)
+	}
+	// One successful write, one failing write, nothing after.
+	if w.seen != 2 {
+		t.Fatalf("writer saw %d writes after first failure, want 2", w.seen)
+	}
+}
+
+// TestSeverityUnmarshalRejectsUnknown: the JSON reader half of the shared
+// vocabulary must reject severities outside it.
+func TestSeverityUnmarshalRejectsUnknown(t *testing.T) {
+	var s Severity
+	if err := s.UnmarshalJSON([]byte(`"fatal"`)); err == nil ||
+		!strings.Contains(err.Error(), "unknown severity") {
+		t.Fatalf("unknown severity accepted: %v", err)
+	}
+	if err := s.UnmarshalJSON([]byte(`42`)); err == nil {
+		t.Fatal("non-string severity accepted")
+	}
+}
